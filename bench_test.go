@@ -1,0 +1,261 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (go test -bench=.), plus ablation benchmarks for the
+// design choices DESIGN.md calls out (generator throughput, CTS scan cost
+// by ACF family, FGN synthesis scaling, multiplexer throughput).
+//
+// Simulation benchmarks run at a reduced scale per iteration; cmd/repro
+// -reps/-frames reaches the paper's 60 × 500k effort when wanted.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dar"
+	"repro/internal/experiments"
+	"repro/internal/fgn"
+	"repro/internal/models"
+	"repro/internal/mux"
+	"repro/internal/traffic"
+)
+
+// benchSim is the per-iteration simulation scale for figure benchmarks —
+// small enough that one iteration of the costliest figure (Fig 8, which
+// includes the phase-change-heavy V^1.5 model) stays under a minute.
+var benchSim = experiments.SimConfig{Reps: 1, Frames: 1500, Seed: 1}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1ACFFamilies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2SamplePaths(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig2(500, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3ACFPanels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4CTS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5BOP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6Efficacy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7WideRange(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8SimCLR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchSim
+		cfg.Seed += int64(i)
+		if _, err := experiments.Fig8(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9SimEfficacy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchSim
+		cfg.Seed += int64(i)
+		if _, err := experiments.Fig9(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10Asymptotics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchSim
+		cfg.Seed += int64(i)
+		if _, err := experiments.Fig10(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benchmarks -------------------------------------------------
+
+// Generator throughput per model family (frames/op).
+func benchGenerator(b *testing.B, m traffic.Model) {
+	b.Helper()
+	g := m.NewGenerator(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.NextFrame()
+	}
+}
+
+func BenchmarkGenZ(b *testing.B) {
+	z, err := models.NewZ(0.975)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchGenerator(b, z)
+}
+
+func BenchmarkGenV(b *testing.B) {
+	v, err := models.NewV(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchGenerator(b, v)
+}
+
+func BenchmarkGenL(b *testing.B) {
+	l, err := models.NewL()
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchGenerator(b, l)
+}
+
+func BenchmarkGenDAR3(b *testing.B) {
+	z, err := models.NewZ(0.975)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := models.FitS(z, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchGenerator(b, s)
+}
+
+func BenchmarkGenFGN(b *testing.B) {
+	f, err := fgn.NewModel(0.9, 500, 5000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchGenerator(b, f)
+}
+
+// CTS scan cost by ACF family at a 20 ms buffer.
+func benchCTS(b *testing.B, m traffic.Model) {
+	b.Helper()
+	op := core.Operating{
+		C: experiments.BopC,
+		B: experiments.MsecToPerSourceCells(20, experiments.BopC),
+		N: experiments.BopN,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CTS(m, op, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCTSMarkov(b *testing.B) {
+	p, err := dar.NewDAR1(0.9, dar.GaussianMarginal(models.Mean, models.Variance))
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchCTS(b, p)
+}
+
+func BenchmarkCTSCompositeLRD(b *testing.B) {
+	z, err := models.NewZ(0.975)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchCTS(b, z)
+}
+
+func BenchmarkCTSExactLRD(b *testing.B) {
+	f, err := fgn.NewModel(0.9, models.Mean, models.Variance)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchCTS(b, f)
+}
+
+// FGN synthesis scaling in block length.
+func BenchmarkFGNSynthesis(b *testing.B) {
+	for _, blockLen := range []int{1 << 12, 1 << 14, 1 << 16} {
+		b.Run(byteSize(blockLen), func(b *testing.B) {
+			m, err := fgn.NewModel(0.9, 500, 5000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m.BlockLen = blockLen
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g := m.NewGenerator(int64(i))
+				_ = g.NextFrame() // forces one block synthesis
+			}
+		})
+	}
+}
+
+func byteSize(n int) string {
+	switch {
+	case n >= 1<<16:
+		return "64k"
+	case n >= 1<<14:
+		return "16k"
+	default:
+		return "4k"
+	}
+}
+
+// Multiplexer throughput: frames/sec through the coupled buffer sweep.
+func BenchmarkMuxSweep(b *testing.B) {
+	z, err := models.NewZ(0.975)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buffers := []float64{0, 27, 134, 269}
+	cfg := mux.Config{Model: z, N: 30, C: 538, Frames: 1000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := mux.RunSweep(cfg, buffers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Command admit sizes an ATM link: the maximum number of homogeneous VBR
+// video connections admissible at a cell-loss target under a delay bound,
+// plus the per-source effective bandwidth (paper §5.4 and package cac).
+//
+// Usage:
+//
+//	admit [-models z:0.975,dar:0.975:1,l] [-capacity 365566]
+//	      [-delays 2,5,10,20,30] [-clr 1e-6] [-estimator br|largen]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cac"
+	"repro/internal/models"
+	"repro/internal/modelspec"
+)
+
+func main() {
+	var (
+		specs    = flag.String("models", "z:0.975,dar:0.975:1,l", "comma-separated model specs")
+		capacity = flag.Float64("capacity", 365566, "link capacity in cells/sec (default ≈ OC-3)")
+		delays   = flag.String("delays", "2,5,10,20,30", "delay bounds in msec, comma-separated")
+		clr      = flag.Float64("clr", 1e-6, "cell loss rate target")
+		estName  = flag.String("estimator", "br", "overflow estimator: br (Bahadur-Rao) or largen")
+	)
+	flag.Parse()
+
+	ms, err := modelspec.ParseList(*specs)
+	if err != nil {
+		fatal(err)
+	}
+	var est cac.Estimator
+	switch strings.ToLower(*estName) {
+	case "br", "bahadur-rao":
+		est = cac.BahadurRao
+	case "largen", "large-n":
+		est = cac.LargeN
+	default:
+		fatal(fmt.Errorf("unknown estimator %q", *estName))
+	}
+
+	fmt.Printf("link %.0f cells/s, CLR target %g, estimator %s\n\n",
+		*capacity, *clr, est)
+	fmt.Printf("%-12s", "delay msec")
+	for _, m := range ms {
+		fmt.Printf(" %16s", m.Name())
+	}
+	fmt.Println()
+	for _, f := range strings.Split(*delays, ",") {
+		d, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || d < 0 {
+			fatal(fmt.Errorf("bad delay %q", f))
+		}
+		link := cac.Link{CellsPerSec: *capacity, Ts: models.Ts, Delay: d / 1000}
+		fmt.Printf("%-12.1f", d)
+		for _, m := range ms {
+			n, err := cac.Admissible(m, link, *clr, est)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf(" %16d", n)
+		}
+		fmt.Println()
+	}
+
+	// Effective bandwidth at a fixed population for context.
+	fmt.Printf("\neffective bandwidth (cells/frame) at N=30, 20 ms delay:\n")
+	for _, m := range ms {
+		b := *capacity * 0.020 / 30
+		c, err := cac.EffectiveBandwidth(m, 30, b, *clr)
+		if err != nil {
+			fmt.Printf("  %-16s %v\n", m.Name(), err)
+			continue
+		}
+		fmt.Printf("  %-16s %.1f (mean %.0f, headroom %.1f%%)\n",
+			m.Name(), c, m.Mean(), (c/m.Mean()-1)*100)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "admit:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,112 @@
+// Command atmsim runs the paper's finite-buffer ATM multiplexer simulation
+// (§5.5) for one or more models and reports the measured cell loss rate
+// with replication confidence intervals.
+//
+// Usage:
+//
+//	atmsim [-models z:0.975] [-c 538] [-n 30] [-buffers 0,2,5,10,20]
+//	       [-frames 100000] [-reps 8] [-seed 1] [-bop]
+//
+// With -bop the infinite-buffer overflow probability P(W > x) is measured
+// instead, at the workload levels implied by -buffers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/modelspec"
+	"repro/internal/mux"
+)
+
+func main() {
+	var (
+		specs   = flag.String("models", "z:0.975,dar:0.975:1", "comma-separated model specs")
+		c       = flag.Float64("c", experiments.BopC, "bandwidth per source, cells/frame")
+		n       = flag.Int("n", experiments.BopN, "number of multiplexed sources")
+		buffers = flag.String("buffers", "0,2,5,10,15,20", "total-buffer sizes in msec, comma-separated")
+		frames  = flag.Int("frames", 100000, "frames per replication (paper: 500000)")
+		reps    = flag.Int("reps", 8, "replications (paper: 60)")
+		seed    = flag.Int64("seed", 1, "master seed")
+		bop     = flag.Bool("bop", false, "measure infinite-buffer P(W > x) instead of finite-buffer CLR")
+	)
+	flag.Parse()
+
+	ms, err := modelspec.ParseList(*specs)
+	if err != nil {
+		fatal(err)
+	}
+	msecs, err := parseFloats(*buffers)
+	if err != nil {
+		fatal(err)
+	}
+	cells := make([]float64, len(msecs))
+	for i, m := range msecs {
+		cells[i] = experiments.MsecToPerSourceCells(m, *c)
+	}
+
+	for _, m := range ms {
+		fmt.Printf("model %s  (N=%d, c=%g cells/frame, %d reps × %d frames)\n",
+			m.Name(), *n, *c, *reps, *frames)
+		if *bop {
+			thresholds := make([]float64, len(cells))
+			for i, b := range cells {
+				thresholds[i] = b * float64(*n) // total workload levels
+			}
+			res, err := mux.RunBOP(mux.BOPConfig{
+				Model: m, N: *n, C: *c, Frames: *frames * *reps,
+				Warmup: *frames / 10, Seed: *seed, Thresholds: thresholds,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  %-12s %-14s\n", "buffer msec", "P(W>x)")
+			for i := range res.Thresholds {
+				fmt.Printf("  %-12.3f %-14.6g\n", msecs[i], res.Prob[i])
+			}
+			continue
+		}
+		cfg := mux.Config{
+			Model: m, N: *n, C: *c, Frames: *frames,
+			Warmup: *frames / 20, Seed: *seed,
+		}
+		byBuffer, err := mux.SweepReplications(cfg, cells, *reps)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  %-12s %-14s %-22s\n", "buffer msec", "CLR", "95% CI")
+		for i := range cells {
+			ci := mux.CLREstimate(byBuffer[i], 0.95)
+			fmt.Printf("  %-12.3f %-14.6g [%.3g, %.3g]\n",
+				msecs[i], ci.Point, ci.Low(), ci.High())
+		}
+	}
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q: %w", f, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no buffer sizes given")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "atmsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,132 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation. By default it prints all experiments to stdout at a reduced
+// simulation scale; use -exp to select specific experiments, -out to write
+// text and CSV files, and -reps/-frames to approach the paper's 60 × 500k
+// simulation effort.
+//
+// Usage:
+//
+//	repro [-exp all|table1,fig1,...,fig10] [-reps N] [-frames N]
+//	      [-seed N] [-out DIR] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exps   = flag.String("exp", "all", "comma-separated experiment ids (table1, fig1..fig10) or 'all' (figs + table1 + extmpeg,extsub,extmarg)")
+		reps   = flag.Int("reps", experiments.DefaultSim.Reps, "simulation replications (paper: 60)")
+		frames = flag.Int("frames", experiments.DefaultSim.Frames, "frames per replication (paper: 500000)")
+		seed   = flag.Int64("seed", experiments.DefaultSim.Seed, "master random seed")
+		outDir = flag.String("out", "", "directory for .txt/.csv outputs (default: stdout only)")
+		csv    = flag.Bool("csv", false, "also print CSV to stdout")
+	)
+	flag.Parse()
+
+	sim := experiments.SimConfig{Reps: *reps, Frames: *frames, Seed: *seed}
+	if err := sim.Validate(); err != nil {
+		fatal(err)
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exps, ",") {
+		e = strings.TrimSpace(strings.ToLower(e))
+		if e != "" {
+			want[e] = true
+		}
+	}
+	all := want["all"]
+	selected := func(id string) bool { return all || want[id] }
+
+	if selected("table1") {
+		tab, err := experiments.Table1()
+		if err != nil {
+			fatal(err)
+		}
+		emitText("table1", tab.String(), *outDir)
+	}
+
+	type driver struct {
+		id  string
+		run func() ([]*experiments.Result, error)
+	}
+	drivers := []driver{
+		{"fig1", experiments.Fig1},
+		{"fig2", func() ([]*experiments.Result, error) {
+			r, err := experiments.Fig2(500, *seed)
+			return []*experiments.Result{r}, err
+		}},
+		{"fig3", experiments.Fig3},
+		{"fig4", experiments.Fig4},
+		{"fig5", experiments.Fig5},
+		{"fig6", experiments.Fig6},
+		{"fig7", experiments.Fig7},
+		{"fig8", func() ([]*experiments.Result, error) { return experiments.Fig8(sim) }},
+		{"fig9", func() ([]*experiments.Result, error) { return experiments.Fig9(sim) }},
+		{"fig10", func() ([]*experiments.Result, error) {
+			r, err := experiments.Fig10(sim)
+			return []*experiments.Result{r}, err
+		}},
+		// Extensions beyond the published evaluation (paper §6 directions);
+		// included in -exp all.
+		{"extmpeg", experiments.ExtMPEG},
+		{"extsub", experiments.ExtSubstrates},
+		{"extweibull", experiments.ExtWeibull},
+		{"extmarg", func() ([]*experiments.Result, error) {
+			r, err := experiments.ExtMarginals(sim)
+			return []*experiments.Result{r}, err
+		}},
+		{"extflr", func() ([]*experiments.Result, error) {
+			r, err := experiments.ExtFLR(sim)
+			return []*experiments.Result{r}, err
+		}},
+	}
+	for _, d := range drivers {
+		if !selected(d.id) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s...\n", d.id)
+		results, err := d.run()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", d.id, err))
+		}
+		for _, r := range results {
+			emitText(r.ID, r.Render(), *outDir)
+			if *csv {
+				fmt.Println(r.CSV())
+			}
+			if *outDir != "" {
+				path := filepath.Join(*outDir, r.ID+".csv")
+				if err := os.WriteFile(path, []byte(r.CSV()), 0o644); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func emitText(id, text, outDir string) {
+	fmt.Println(text)
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(outDir, id+".txt")
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "repro:", err)
+	os.Exit(1)
+}

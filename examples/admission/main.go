@@ -1,0 +1,81 @@
+// Admission sizing: how many real-time VBR video connections fit on an
+// ATM link at CLR ≤ 1e-6 under a hard delay bound? This example runs the
+// paper's operational bottom line: the admissible-connection count from a
+// full LRD model and from its one-parameter DAR(1) Markov fit agree to
+// within a connection or two, across delay bounds — so capturing long-term
+// correlations buys nothing for admission control.
+//
+// Run with: go run ./examples/admission
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cac"
+	"repro/internal/models"
+)
+
+func main() {
+	// An OC-3 payload: 155.52 Mbps × (48/53 payload) / 424 bits per cell
+	// ≈ 353,208 cells/s. Real-time video keeps per-hop delay tight.
+	const capacity = 353208.0
+	target := 1e-6
+
+	z, err := models.NewZ(0.975) // LRD video: strong short + Hurst-0.9 tail
+	if err != nil {
+		log.Fatal(err)
+	}
+	d1, err := models.FitS(z, 1) // its DAR(1) fit: one matched correlation
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, err := models.NewL() // pure LRD model matching only the ACF tail
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("link: %.0f cells/s, loss target %g\n", capacity, target)
+	fmt.Printf("source: %s (mean %.0f cells/frame ≈ %.2f Mbps)\n\n",
+		z.Name(), z.Mean(), z.Mean()/models.Ts*424/1e6)
+	fmt.Printf("%-12s %14s %14s %14s %10s\n",
+		"delay bound", z.Name(), d1.Name(), l.Name(), "peak-rate")
+
+	for _, delayMs := range []float64{2, 5, 10, 20, 30} {
+		link := cac.Link{CellsPerSec: capacity, Ts: models.Ts, Delay: delayMs / 1000}
+		nz, err := cac.Admissible(z, link, target, cac.BahadurRao)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nd, err := cac.Admissible(d1, link, target, cac.BahadurRao)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nl, err := cac.Admissible(l, link, target, cac.BahadurRao)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Peak-rate allocation baseline: admit by worst case μ + 5σ.
+		peak := int(link.CellsPerFrame() / (z.Mean() + 5*70.7))
+		fmt.Printf("%8.0f ms %14d %14d %14d %10d\n", delayMs, nz, nd, nl, peak)
+	}
+
+	fmt.Println("\nReading the table:")
+	fmt.Println("  - DAR(1) tracks the LRD model Z within a connection or two: the")
+	fmt.Println("    order-of-magnitude loss differences at large buffers translate")
+	fmt.Println("    to almost nothing in admitted load (paper §5.4).")
+	fmt.Println("  - The tail-only model L misprices the practical regime because it")
+	fmt.Println("    misses the short-term correlations that dominate small buffers.")
+	fmt.Println("  - Statistical multiplexing admits far more than peak-rate sizing.")
+
+	// Effective bandwidth view at a fixed population.
+	fmt.Println()
+	eb, err := cac.EffectiveBandwidth(z, 30, 269, target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("effective bandwidth of %s at N=30, 20 ms buffer: %.1f cells/frame\n",
+		z.Name(), eb)
+	fmt.Printf("  (mean 500, so the LRD source costs only %.1f%% headroom)\n",
+		(eb/z.Mean()-1)*100)
+}

@@ -1,0 +1,81 @@
+// Cellloss: what a cell loss rate means to a video decoder. A video frame
+// rides in one AAL5 CPCS-PDU; losing any one of its ~500 cells fails the
+// frame's CRC-32 and discards the whole frame, so the frame loss ratio is
+// the cell loss ratio amplified by burst structure. This example moves
+// real 53-byte cells: it segments a frame with AAL5, corrupts one cell,
+// shows the reassembler rejecting the PDU, then measures CLR-to-FLR
+// amplification in the cell-granular multiplexer.
+//
+// Run with: go run ./examples/cellloss
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/atm"
+	"repro/internal/cellsim"
+	"repro/internal/models"
+	"repro/internal/shaper"
+	"repro/internal/traffic"
+)
+
+func main() {
+	// 1. One video frame through the real AAL5 cell stack.
+	frame := make([]byte, 20000) // ≈ a 500-cell frame minus overhead
+	rand.New(rand.NewSource(1)).Read(frame)
+	hdr := atm.Header{VPI: 12, VCI: 34}
+	cells, err := atm.SegmentAAL5(hdr, frame)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("frame of %d bytes → %d ATM cells (%d bytes on the wire)\n",
+		len(frame), len(cells), len(cells)*atm.CellSize)
+	back, err := atm.ReassembleAAL5(cells, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reassembled cleanly: %d bytes, CRC-32 verified\n", len(back))
+
+	// Drop one mid-frame cell: the CRC catches it and the frame dies.
+	truncated := append(append([][]byte{}, cells[:100]...), cells[101:]...)
+	if _, err := atm.ReassembleAAL5(truncated, false); err != nil {
+		fmt.Printf("dropping 1 of %d cells → reassembly: %v\n\n", len(cells), err)
+	}
+
+	// 2. Measure the amplification at the multiplexer. N = 10 Z^0.975
+	//    sources at 97%% load, tight buffer, cell-granular queue.
+	z, err := models.NewZ(0.975)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := cellsim.RunFrameLoss(cellsim.Config{
+		Model: z, N: 10, SlotsPerFrame: 5150,
+		BufferCells: 100, Frames: 20000, Warmup: 1000, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cell-level multiplexer (N=10, 97%% load, 100-cell buffer):\n")
+	fmt.Printf("  cell loss ratio   CLR = %.3g\n", res.CLR)
+	fmt.Printf("  frame damage rate FLR = %.3g\n", res.FLR)
+	fmt.Printf("  amplification %.0f× (mean frame ≈ 500 cells; losses cluster,\n",
+		res.FLR/res.CLR)
+	fmt.Println("  so amplification sits below the 500× worst case)")
+
+	// 3. Would policing the source at its contract rate have helped?
+	frames := traffic.Generate(z.NewGenerator(3), 20000)
+	for _, headroom := range []float64{1.0, 1.2, 1.5} {
+		frac, err := shaper.PoliceFrames(frames, models.Ts,
+			headroom*z.Mean()/models.Ts, models.Ts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("GCRA policing at %.1f× mean rate tags %.2g%% of cells\n",
+			headroom, frac*100)
+	}
+	fmt.Println("\nPolicing at the mean rate punishes the VBR source's natural")
+	fmt.Println("burstiness; the paper's answer is statistical multiplexing with a")
+	fmt.Println("buffer sized by the critical time scale, not per-source policing.")
+}

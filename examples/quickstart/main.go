@@ -1,0 +1,87 @@
+// Quickstart: build the paper's LRD video model Z^0.9, compute its
+// Critical Time Scale and Bahadur-Rao overflow estimate at a 10 ms buffer,
+// and confirm with a short multiplexer simulation.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/mux"
+)
+
+func main() {
+	// 1. An LRD VBR video source: Gaussian frames (μ=500 cells, σ²=5000 at
+	//    25 fps), geometric short-term correlations (a = 0.9) riding on a
+	//    power-law tail (Hurst 0.9).
+	z, err := models.NewZ(0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model %s: mean %.0f cells/frame, variance %.0f, H = 0.9\n",
+		z.Name(), z.Mean(), z.Variance())
+	fmt.Printf("ACF: r(1)=%.3f r(5)=%.3f r(100)=%.3f r(1000)=%.3f\n\n",
+		z.ACF(1), z.ACF(5), z.ACF(100), z.ACF(1000))
+
+	// 2. Operating point: 30 sources share a link at c = 538 cells/frame
+	//    each (93% load) with a 10 ms buffer.
+	const (
+		n       = 30
+		c       = 538.0
+		delayMs = 10.0
+	)
+	b := core.BufferSecondsToCells(delayMs/1000, c, models.Ts)
+	op := core.Operating{C: c, B: b, N: n}
+
+	// 3. Critical time scale: how many frame correlations matter here?
+	cts, err := core.CTS(z, op, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("critical time scale at %.0f ms buffer: m* = %d frames\n", delayMs, cts.M)
+	fmt.Printf("  -> correlations beyond lag %d do not affect the loss rate;\n", cts.M)
+	fmt.Printf("     the Hurst tail lives at lags 10-1000+, far beyond m*.\n\n")
+
+	// 4. Overflow estimates.
+	br, err := core.BahadurRao(z, op, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := core.LargeN(z, op, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("overflow estimates: Bahadur-Rao %.3g, large-N %.3g\n\n", br, ln)
+
+	// 5. The paper's thesis in one measurement: fit a one-parameter DAR(1)
+	//    Markov model to Z's lag-1 correlation and simulate the finite-
+	//    buffer multiplexer with it. Its loss matches the LRD source's.
+	//    (Simulating Z itself needs paper-scale effort — 60 × 500k frames,
+	//    see cmd/atmsim; the converged values agree, see EXPERIMENTS.md.)
+	d1, err := models.FitS(z, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	simB := core.BufferSecondsToCells(0.002, c, models.Ts) // 2 ms: loss observable
+	simBR, err := core.BahadurRao(z, core.Operating{C: c, B: simB, N: n}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := mux.RunReplications(mux.Config{
+		Model: d1, N: n, C: c, B: simB,
+		Frames: 100000, Warmup: 5000, Seed: 7,
+	}, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ci := mux.CLREstimate(results, 0.95)
+	fmt.Printf("at a 2 ms buffer: Bahadur-Rao estimate for %s: %.3g\n", z.Name(), simBR)
+	fmt.Printf("                  simulated CLR of the %s fit: %s\n", d1.Name(), ci)
+	fmt.Println("\nThe asymptotic sits the paper's ~2 orders above the measured CLR")
+	fmt.Println("(Fig 10), and the small m* is why the one-parameter Markov fit")
+	fmt.Println("predicts this LRD source's QOS accurately.")
+}

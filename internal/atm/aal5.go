@@ -1,0 +1,128 @@
+package atm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// AAL5 segmentation and reassembly (I.363.5). A frame (CPCS-PDU) is padded
+// so that payload + 8-byte trailer fills a whole number of cells; the
+// trailer carries UU/CPI octets, the 16-bit length and a CRC-32 over the
+// entire padded PDU. The last cell of a frame is marked by the
+// AAL-indicate bit in the cell header's PT field.
+
+// AAL5TrailerSize is the CPCS-PDU trailer length in bytes.
+const AAL5TrailerSize = 8
+
+// MaxAAL5Payload is the largest CPCS-PDU payload (16-bit length field).
+const MaxAAL5Payload = 65535
+
+// AAL5CellCount returns how many cells carry a frame of n payload bytes.
+func AAL5CellCount(n int) int {
+	return (n + AAL5TrailerSize + PayloadSize - 1) / PayloadSize
+}
+
+// SegmentAAL5 splits data into ATM cells on the given VPI/VCI, appending
+// the padded AAL5 trailer and setting the end-of-frame payload type on the
+// final cell.
+func SegmentAAL5(h Header, data []byte) ([][]byte, error) {
+	if len(data) > MaxAAL5Payload {
+		return nil, fmt.Errorf("atm: AAL5 payload %d exceeds %d bytes", len(data), MaxAAL5Payload)
+	}
+	ncells := AAL5CellCount(len(data))
+	pdu := make([]byte, ncells*PayloadSize)
+	copy(pdu, data)
+	// Trailer: UU(1) CPI(1) Length(2) CRC32(4), big-endian, at the very end.
+	tr := pdu[len(pdu)-AAL5TrailerSize:]
+	binary.BigEndian.PutUint16(tr[2:], uint16(len(data)))
+	crc := crc32.ChecksumIEEE(pdu[:len(pdu)-4])
+	binary.BigEndian.PutUint32(tr[4:], crc)
+
+	cells := make([][]byte, ncells)
+	for i := 0; i < ncells; i++ {
+		ch := h
+		if i == ncells-1 {
+			ch.PT = h.PT | 0x1 // AAL-indicate: end of CPCS-PDU
+		} else {
+			ch.PT = h.PT &^ 0x1
+		}
+		cell, err := Marshal(ch, pdu[i*PayloadSize:(i+1)*PayloadSize])
+		if err != nil {
+			return nil, err
+		}
+		cells[i] = cell
+	}
+	return cells, nil
+}
+
+// Reassembly errors.
+var (
+	ErrAAL5CRC      = errors.New("atm: AAL5 CRC-32 mismatch")
+	ErrAAL5Length   = errors.New("atm: AAL5 length field inconsistent")
+	ErrAAL5NoFrame  = errors.New("atm: cell sequence holds no complete frame")
+	ErrAAL5TooShort = errors.New("atm: AAL5 PDU shorter than its trailer")
+)
+
+// Reassembler collects cells of one virtual channel back into AAL5 frames.
+// The zero value is ready to use. It is not safe for concurrent use.
+type Reassembler struct {
+	buf    []byte
+	Frames [][]byte // completed frames, appended in order
+	// Dropped counts PDUs discarded for CRC or length errors.
+	Dropped int
+}
+
+// Push adds one cell's header and payload. When the cell completes a
+// frame, the frame is verified and appended to r.Frames; corrupt frames
+// increment r.Dropped. The error reports verification failures (the
+// reassembler has already recovered by discarding).
+func (r *Reassembler) Push(h Header, payload []byte) error {
+	if len(payload) != PayloadSize {
+		return fmt.Errorf("atm: AAL5 cell payload %d bytes, want %d", len(payload), PayloadSize)
+	}
+	r.buf = append(r.buf, payload...)
+	if h.PT&0x1 == 0 {
+		return nil // more cells to come
+	}
+	pdu := r.buf
+	r.buf = nil
+	if len(pdu) < AAL5TrailerSize {
+		r.Dropped++
+		return ErrAAL5TooShort
+	}
+	tr := pdu[len(pdu)-AAL5TrailerSize:]
+	want := binary.BigEndian.Uint32(tr[4:])
+	if crc32.ChecksumIEEE(pdu[:len(pdu)-4]) != want {
+		r.Dropped++
+		return ErrAAL5CRC
+	}
+	n := int(binary.BigEndian.Uint16(tr[2:]))
+	if n > len(pdu)-AAL5TrailerSize || len(pdu)-AAL5TrailerSize-n >= PayloadSize {
+		r.Dropped++
+		return ErrAAL5Length
+	}
+	r.Frames = append(r.Frames, pdu[:n])
+	return nil
+}
+
+// ReassembleAAL5 is a convenience wrapper: feed a whole cell sequence (raw
+// 53-byte cells of a single VC, in order) and get the first complete
+// verified frame.
+func ReassembleAAL5(cells [][]byte, nni bool) ([]byte, error) {
+	var r Reassembler
+	for _, c := range cells {
+		h, payload, err := Unmarshal(c, nni)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.Push(h, payload); err != nil {
+			return nil, err
+		}
+	}
+	if len(r.Frames) == 0 {
+		return nil, ErrAAL5NoFrame
+	}
+	return r.Frames[0], nil
+}

@@ -1,0 +1,294 @@
+package atm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderValidate(t *testing.T) {
+	good := []Header{
+		{GFC: 15, VPI: 255, VCI: 65535, PT: 7, CLP: true},
+		{NNI: true, VPI: 4095, VCI: 1},
+	}
+	for i, h := range good {
+		if err := h.Validate(); err != nil {
+			t.Errorf("good case %d: %v", i, err)
+		}
+	}
+	bad := []Header{
+		{GFC: 16},
+		{VPI: 256},
+		{NNI: true, GFC: 1},
+		{NNI: true, VPI: 4096},
+		{PT: 8},
+	}
+	for i, h := range bad {
+		if err := h.Validate(); err == nil {
+			t.Errorf("bad case %d: expected error", i)
+		}
+	}
+}
+
+func TestHECKnownVector(t *testing.T) {
+	// All-zero header: CRC-8(0,0,0,0) = 0, coset gives 0x55.
+	if got := HEC([]byte{0, 0, 0, 0}); got != 0x55 {
+		t.Fatalf("HEC(0000) = %#x, want 0x55", got)
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	h := Header{GFC: 2, VPI: 42, VCI: 1234, PT: PTUser0End, CLP: true}
+	payload := bytes.Repeat([]byte{0xAB}, PayloadSize)
+	cell, err := Marshal(h, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cell) != CellSize {
+		t.Fatalf("cell %d bytes", len(cell))
+	}
+	got, pl, err := Unmarshal(cell, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("header %+v, want %+v", got, h)
+	}
+	if !bytes.Equal(pl, payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestMarshalNNIRoundTrip(t *testing.T) {
+	h := Header{NNI: true, VPI: 3000, VCI: 77, PT: PTResourceMgmt}
+	cell, err := Marshal(h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Unmarshal(cell, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("header %+v, want %+v", got, h)
+	}
+}
+
+func TestMarshalRejects(t *testing.T) {
+	if _, err := Marshal(Header{GFC: 99}, nil); err == nil {
+		t.Error("invalid header should error")
+	}
+	if _, err := Marshal(Header{}, make([]byte, PayloadSize+1)); err == nil {
+		t.Error("oversize payload should error")
+	}
+}
+
+func TestUnmarshalDetectsCorruption(t *testing.T) {
+	cell, err := Marshal(Header{VPI: 1, VCI: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell[1] ^= 0x40
+	if _, _, err := Unmarshal(cell, false); err != ErrBadHEC {
+		t.Fatalf("got %v, want ErrBadHEC", err)
+	}
+	if _, _, err := Unmarshal(cell[:10], false); err != ErrShortCell {
+		t.Fatalf("got %v, want ErrShortCell", err)
+	}
+}
+
+// Property: round trip holds for arbitrary valid headers and payloads.
+func TestMarshalRoundTripProperty(t *testing.T) {
+	f := func(gfc, pt uint8, vpi, vci uint16, clp bool, seed int64) bool {
+		h := Header{
+			GFC: gfc % 16, VPI: vpi % 256, VCI: vci,
+			PT: pt % 8, CLP: clp,
+		}
+		rng := rand.New(rand.NewSource(seed))
+		payload := make([]byte, PayloadSize)
+		rng.Read(payload)
+		cell, err := Marshal(h, payload)
+		if err != nil {
+			return false
+		}
+		got, pl, err := Unmarshal(cell, false)
+		return err == nil && got == h && bytes.Equal(pl, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every single-bit header corruption is detected by the HEC and
+// corrected by CorrectHEC.
+func TestCorrectHECSingleBitProperty(t *testing.T) {
+	f := func(vpi, vci uint16, bit uint8) bool {
+		cell, err := Marshal(Header{VPI: vpi % 256, VCI: vci}, nil)
+		if err != nil {
+			return false
+		}
+		b := int(bit) % (HeaderSize * 8)
+		cell[b/8] ^= 1 << (7 - uint(b%8))
+		orig := append([]byte(nil), cell...)
+		fixed := CorrectHEC(cell)
+		if fixed != b {
+			return false
+		}
+		// After correction the header verifies.
+		_, _, err = Unmarshal(cell, false)
+		_ = orig
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorrectHECCleanAndMultibit(t *testing.T) {
+	cell, _ := Marshal(Header{VPI: 5, VCI: 6}, nil)
+	if got := CorrectHEC(cell); got != -1 {
+		t.Fatalf("clean header 'corrected' at bit %d", got)
+	}
+	cell[0] ^= 0xFF // many bit errors
+	if got := CorrectHEC(cell); got != -1 {
+		t.Fatalf("multibit error 'corrected' at bit %d", got)
+	}
+	if CorrectHEC(nil) != -1 {
+		t.Fatal("nil input should return -1")
+	}
+}
+
+func TestAAL5CellCount(t *testing.T) {
+	cases := map[int]int{
+		0:   1, // trailer alone
+		1:   1, // 1 + 8 ≤ 48
+		40:  1, // exactly fills with trailer
+		41:  2, // spills
+		48:  2,
+		100: 3, // 108 bytes → 3 cells
+	}
+	for n, want := range cases {
+		if got := AAL5CellCount(n); got != want {
+			t.Errorf("AAL5CellCount(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestAAL5RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := Header{VPI: 7, VCI: 99}
+	for _, n := range []int{0, 1, 40, 41, 48, 1000, 65535} {
+		data := make([]byte, n)
+		rng.Read(data)
+		cells, err := SegmentAAL5(h, data)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(cells) != AAL5CellCount(n) {
+			t.Fatalf("n=%d: %d cells, want %d", n, len(cells), AAL5CellCount(n))
+		}
+		got, err := ReassembleAAL5(cells, false)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("n=%d: frame corrupted", n)
+		}
+	}
+}
+
+func TestAAL5RejectsOversize(t *testing.T) {
+	if _, err := SegmentAAL5(Header{}, make([]byte, MaxAAL5Payload+1)); err == nil {
+		t.Fatal("oversize frame should error")
+	}
+}
+
+func TestAAL5DetectsPayloadCorruption(t *testing.T) {
+	data := bytes.Repeat([]byte{7}, 100)
+	cells, err := SegmentAAL5(Header{VCI: 1}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells[0][HeaderSize] ^= 0x01 // flip a payload bit (HEC still fine)
+	if _, err := ReassembleAAL5(cells, false); err != ErrAAL5CRC {
+		t.Fatalf("got %v, want ErrAAL5CRC", err)
+	}
+}
+
+func TestAAL5MultipleFramesOneVC(t *testing.T) {
+	var r Reassembler
+	for i := 0; i < 3; i++ {
+		data := bytes.Repeat([]byte{byte(i + 1)}, 10+i*50)
+		cells, err := SegmentAAL5(Header{VCI: 5}, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range cells {
+			h, pl, err := Unmarshal(c, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Push(h, pl); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if len(r.Frames) != 3 || r.Dropped != 0 {
+		t.Fatalf("%d frames, %d dropped", len(r.Frames), r.Dropped)
+	}
+	for i, f := range r.Frames {
+		if len(f) != 10+i*50 || f[0] != byte(i+1) {
+			t.Fatalf("frame %d corrupted", i)
+		}
+	}
+}
+
+func TestReassemblerDropAccounting(t *testing.T) {
+	var r Reassembler
+	// An end-of-frame cell with random payload: CRC cannot hold.
+	cell, _ := Marshal(Header{PT: PTUser0End}, bytes.Repeat([]byte{9}, PayloadSize))
+	h, pl, _ := Unmarshal(cell, false)
+	if err := r.Push(h, pl); err == nil {
+		t.Fatal("expected CRC failure")
+	}
+	if r.Dropped != 1 || len(r.Frames) != 0 {
+		t.Fatalf("dropped %d frames %d", r.Dropped, len(r.Frames))
+	}
+	// The reassembler has reset and accepts a good frame afterwards.
+	cells, _ := SegmentAAL5(Header{}, []byte("hello"))
+	for _, c := range cells {
+		h, pl, _ := Unmarshal(c, false)
+		if err := r.Push(h, pl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(r.Frames) != 1 || string(r.Frames[0]) != "hello" {
+		t.Fatal("recovery after drop failed")
+	}
+	if err := r.Push(Header{}, []byte("short")); err == nil {
+		t.Fatal("wrong payload size should error")
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	h := Header{VPI: 1, VCI: 2, PT: PTUser0}
+	payload := make([]byte, PayloadSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Marshal(h, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSegmentAAL5(b *testing.B) {
+	data := make([]byte, 20000) // ~a video frame's worth of bytes
+	h := Header{VCI: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SegmentAAL5(h, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package atm implements the ATM cell layer the paper's multiplexers
+// carry: the 53-byte UNI/NNI cell format with header error control (HEC),
+// and AAL5 segmentation and reassembly for carrying video frames as cell
+// bursts. The queueing analysis elsewhere in this repository treats cells
+// as fluid volumes; this package provides the concrete wire format so the
+// cell-level simulator (package cellsim) and the examples can move real
+// cells, and so buffer sizes in cells translate to bytes.
+//
+// Cell layout (UNI):
+//
+//	bits  | field
+//	------+----------------------------
+//	 4    | GFC (generic flow control)
+//	 8    | VPI (virtual path id)
+//	16    | VCI (virtual channel id)
+//	 3    | PT  (payload type)
+//	 1    | CLP (cell loss priority)
+//	 8    | HEC (CRC-8 over the first four header bytes, coset 0x55)
+//	48 B  | payload
+//
+// NNI cells widen VPI to 12 bits by absorbing the GFC field.
+package atm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Dimension constants of the ATM cell.
+const (
+	CellSize    = 53 // bytes on the wire
+	HeaderSize  = 5
+	PayloadSize = 48
+	BitsPerCell = CellSize * 8
+)
+
+// Payload type indicator values (3 bits). Bit 2 distinguishes OAM cells,
+// bit 1 carries explicit congestion indication for user cells, and bit 0
+// is the AAL-indicate bit AAL5 uses to mark the last cell of a frame.
+const (
+	PTUser0          = 0b000 // user data, no congestion, not end of AAL5 frame
+	PTUser0End       = 0b001 // user data, no congestion, AAL5 frame end
+	PTUserCongested  = 0b010
+	PTUserCongEnd    = 0b011
+	PTSegmentOAM     = 0b100
+	PTEndToEndOAM    = 0b101
+	PTResourceMgmt   = 0b110
+	PTReservedFuture = 0b111
+)
+
+// Header is a decoded ATM cell header.
+type Header struct {
+	GFC uint8  // 4 bits (UNI only; must be 0 for NNI)
+	VPI uint16 // 8 bits UNI, 12 bits NNI
+	VCI uint16 // 16 bits
+	PT  uint8  // 3 bits
+	CLP bool   // cell loss priority: true = discard-eligible
+	NNI bool   // network-network format (wide VPI, no GFC)
+}
+
+// Validate checks field widths.
+func (h Header) Validate() error {
+	if h.NNI {
+		if h.GFC != 0 {
+			return errors.New("atm: NNI cells have no GFC field")
+		}
+		if h.VPI > 0xFFF {
+			return fmt.Errorf("atm: NNI VPI %d exceeds 12 bits", h.VPI)
+		}
+	} else {
+		if h.GFC > 0xF {
+			return fmt.Errorf("atm: GFC %d exceeds 4 bits", h.GFC)
+		}
+		if h.VPI > 0xFF {
+			return fmt.Errorf("atm: UNI VPI %d exceeds 8 bits", h.VPI)
+		}
+	}
+	if h.PT > 0x7 {
+		return fmt.Errorf("atm: PT %d exceeds 3 bits", h.PT)
+	}
+	return nil
+}
+
+// hecTable is the CRC-8 table for the HEC polynomial
+// x⁸ + x² + x + 1 (0x07).
+var hecTable = func() [256]byte {
+	var t [256]byte
+	for i := 0; i < 256; i++ {
+		crc := byte(i)
+		for b := 0; b < 8; b++ {
+			if crc&0x80 != 0 {
+				crc = crc<<1 ^ 0x07
+			} else {
+				crc <<= 1
+			}
+		}
+		t[i] = crc
+	}
+	return t
+}()
+
+// hecCoset is XORed into the CRC per I.432 to improve delineation
+// robustness against bit slips.
+const hecCoset = 0x55
+
+// HEC computes the header error control byte over the first four header
+// bytes.
+func HEC(first4 []byte) byte {
+	var crc byte
+	for _, b := range first4[:4] {
+		crc = hecTable[crc^b]
+	}
+	return crc ^ hecCoset
+}
+
+// Marshal encodes the header and payload into a fresh 53-byte cell.
+// payload must be at most PayloadSize bytes; shorter payloads are
+// zero-padded (AAL5 handles padding semantics explicitly).
+func Marshal(h Header, payload []byte) ([]byte, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	if len(payload) > PayloadSize {
+		return nil, fmt.Errorf("atm: payload %d bytes exceeds %d", len(payload), PayloadSize)
+	}
+	cell := make([]byte, CellSize)
+	if h.NNI {
+		cell[0] = byte(h.VPI >> 4)
+		cell[1] = byte(h.VPI&0xF)<<4 | byte(h.VCI>>12)
+	} else {
+		cell[0] = h.GFC<<4 | byte(h.VPI>>4)
+		cell[1] = byte(h.VPI&0xF)<<4 | byte(h.VCI>>12)
+	}
+	cell[2] = byte(h.VCI >> 4)
+	cell[3] = byte(h.VCI&0xF)<<4 | h.PT<<1
+	if h.CLP {
+		cell[3] |= 1
+	}
+	cell[4] = HEC(cell[:4])
+	copy(cell[HeaderSize:], payload)
+	return cell, nil
+}
+
+// ErrBadHEC reports a header whose HEC check failed.
+var ErrBadHEC = errors.New("atm: header error control mismatch")
+
+// ErrShortCell reports input shorter than one cell.
+var ErrShortCell = errors.New("atm: short cell")
+
+// Unmarshal decodes a 53-byte cell, verifying the HEC. Set nni to decode
+// the network-network header layout. The returned payload aliases the
+// input.
+func Unmarshal(cell []byte, nni bool) (Header, []byte, error) {
+	if len(cell) < CellSize {
+		return Header{}, nil, ErrShortCell
+	}
+	if HEC(cell[:4]) != cell[4] {
+		return Header{}, nil, ErrBadHEC
+	}
+	var h Header
+	h.NNI = nni
+	if nni {
+		h.VPI = uint16(cell[0])<<4 | uint16(cell[1])>>4
+	} else {
+		h.GFC = cell[0] >> 4
+		h.VPI = uint16(cell[0]&0xF)<<4 | uint16(cell[1])>>4
+	}
+	h.VCI = uint16(cell[1]&0xF)<<12 | uint16(cell[2])<<4 | uint16(cell[3])>>4
+	h.PT = (cell[3] >> 1) & 0x7
+	h.CLP = cell[3]&1 != 0
+	return h, cell[HeaderSize:CellSize], nil
+}
+
+// CorrectHEC attempts single-bit correction of a header whose HEC failed,
+// per the I.432 correction mode: if exactly one bit flip (in the 40 header
+// bits) restores consistency, it is applied in place and the corrected bit
+// index returned. Returns -1 if no single-bit correction exists (multi-bit
+// error: the cell must be discarded).
+func CorrectHEC(cell []byte) int {
+	if len(cell) < HeaderSize {
+		return -1
+	}
+	if HEC(cell[:4]) == cell[4] {
+		return -1 // nothing to correct
+	}
+	for bit := 0; bit < HeaderSize*8; bit++ {
+		idx, mask := bit/8, byte(1)<<(7-uint(bit%8))
+		cell[idx] ^= mask
+		if HEC(cell[:4]) == cell[4] {
+			return bit
+		}
+		cell[idx] ^= mask
+	}
+	return -1
+}

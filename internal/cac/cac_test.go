@@ -1,0 +1,253 @@
+package cac
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/models"
+)
+
+// testLink is roughly an OC-3 payload: 155 Mbps ≈ 365566 ATM cells/s.
+func testLink(delay float64) Link {
+	return Link{CellsPerSec: 365566, Ts: models.Ts, Delay: delay}
+}
+
+func TestLinkValidate(t *testing.T) {
+	if err := testLink(0.02).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Link{
+		{CellsPerSec: 0, Ts: 0.04, Delay: 0.02},
+		{CellsPerSec: 1000, Ts: 0, Delay: 0.02},
+		{CellsPerSec: 1000, Ts: 0.04, Delay: -1},
+	}
+	for i, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestLinkDerivedQuantities(t *testing.T) {
+	l := testLink(0.020)
+	if got := l.CellsPerFrame(); math.Abs(got-365566*0.04) > 1e-9 {
+		t.Fatalf("cells/frame = %v", got)
+	}
+	if got := l.BufferCells(); math.Abs(got-365566*0.02) > 1e-9 {
+		t.Fatalf("buffer = %v", got)
+	}
+}
+
+func TestEstimatorString(t *testing.T) {
+	if BahadurRao.String() != "bahadur-rao" || LargeN.String() != "large-N" {
+		t.Fatal("estimator names wrong")
+	}
+	if Estimator(99).String() == "" {
+		t.Fatal("unknown estimator should still render")
+	}
+}
+
+func TestAdmissibleBasicSanity(t *testing.T) {
+	z, err := models.NewZ(0.975)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Admissible(z, testLink(0.020), 1e-6, BahadurRao)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The link fits at most capacity/mean ≈ 29.2 sources at 100% load;
+	// with a 1e-6 loss target the count must be positive but below that.
+	if n < 5 || n > 28 {
+		t.Fatalf("admissible = %d, want within (5, 28)", n)
+	}
+	// The admitted operating point actually meets the target; one more
+	// connection does not.
+	check := func(count int) float64 {
+		op := core.Operating{
+			C: testLink(0.020).CellsPerFrame() / float64(count),
+			B: testLink(0.020).BufferCells() / float64(count),
+			N: count,
+		}
+		p, err := core.BahadurRao(z, op, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if check(n) > 1e-6 {
+		t.Fatalf("admitted N=%d violates target: %v", n, check(n))
+	}
+	if check(n+1) <= 1e-6 {
+		t.Fatalf("N+1=%d still meets target; search stopped early", n+1)
+	}
+}
+
+func TestAdmissibleMonotoneInTarget(t *testing.T) {
+	z, err := models.NewZ(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	for _, target := range []float64{1e-9, 1e-6, 1e-3} {
+		n, err := Admissible(z, testLink(0.020), target, BahadurRao)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n < prev {
+			t.Fatalf("admissible count fell as target loosened: %d < %d", n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestAdmissibleMonotoneInDelay(t *testing.T) {
+	z, err := models.NewZ(0.975)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	for _, d := range []float64{0.002, 0.010, 0.030} {
+		n, err := Admissible(z, testLink(d), 1e-6, BahadurRao)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n < prev {
+			t.Fatalf("admissible count fell with more buffer: %d < %d", n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestAdmissibleDARCloseToZ(t *testing.T) {
+	// The paper's operational claim: a DAR(p) fit admits nearly the same
+	// number of connections as the LRD model it was fit to.
+	z, err := models.NewZ(0.975)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := testLink(0.020)
+	nz, err := Admissible(z, link, 1e-6, BahadurRao)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range models.SOrders {
+		s, err := models.FitS(z, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ns, err := Admissible(s, link, 1e-6, BahadurRao)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := ns - nz; diff < -2 || diff > 2 {
+			t.Errorf("DAR(%d) admits %d vs Z %d; gap too large", p, ns, nz)
+		}
+	}
+}
+
+func TestAdmissibleZeroWhenTargetImpossible(t *testing.T) {
+	z, err := models.NewZ(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A link that cannot even fit one source's mean.
+	tiny := Link{CellsPerSec: 100, Ts: models.Ts, Delay: 0}
+	n, err := Admissible(z, tiny, 1e-6, BahadurRao)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("admissible = %d, want 0", n)
+	}
+}
+
+func TestAdmissibleValidation(t *testing.T) {
+	z, _ := models.NewZ(0.9)
+	if _, err := Admissible(z, Link{}, 1e-6, BahadurRao); err == nil {
+		t.Error("invalid link should error")
+	}
+	if _, err := Admissible(z, testLink(0.02), 0, BahadurRao); err == nil {
+		t.Error("target 0 should error")
+	}
+	if _, err := Admissible(z, testLink(0.02), 1, BahadurRao); err == nil {
+		t.Error("target 1 should error")
+	}
+	if _, err := Admissible(z, testLink(0.02), 1e-6, Estimator(42)); err == nil {
+		t.Error("unknown estimator should error")
+	}
+}
+
+func TestLargeNAdmitsNoMoreThanBahadurRao(t *testing.T) {
+	// Large-N over-estimates loss (it lacks the B-R prefactor < 1), so it
+	// must be at least as conservative.
+	z, err := models.NewZ(0.975)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := Admissible(z, testLink(0.02), 1e-6, BahadurRao)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := Admissible(z, testLink(0.02), 1e-6, LargeN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ln > br {
+		t.Fatalf("large-N admits %d > B-R %d", ln, br)
+	}
+}
+
+func TestEffectiveBandwidth(t *testing.T) {
+	z, err := models.NewZ(0.975)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := EffectiveBandwidth(z, 30, 200, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c <= z.Mean() || c >= z.Mean()+6*math.Sqrt(z.Variance()) {
+		t.Fatalf("effective bandwidth %v implausible", c)
+	}
+	// It must actually achieve the target.
+	p, err := core.BahadurRao(z, core.Operating{C: c, B: 200, N: 30}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1.0001e-6 {
+		t.Fatalf("achieved loss %v misses target", p)
+	}
+}
+
+func TestEffectiveBandwidthMonotoneInBuffer(t *testing.T) {
+	z, err := models.NewZ(0.975)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for _, b := range []float64{0, 100, 400} {
+		c, err := EffectiveBandwidth(z, 30, b, 1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c > prev {
+			t.Fatalf("effective bandwidth rose with buffer at b=%v: %v > %v", b, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestEffectiveBandwidthValidation(t *testing.T) {
+	z, _ := models.NewZ(0.9)
+	if _, err := EffectiveBandwidth(z, 0, 10, 1e-6); err == nil {
+		t.Error("N=0 should error")
+	}
+	if _, err := EffectiveBandwidth(z, 30, -1, 1e-6); err == nil {
+		t.Error("negative buffer should error")
+	}
+	if _, err := EffectiveBandwidth(z, 30, 10, 0); err == nil {
+		t.Error("target 0 should error")
+	}
+}

@@ -1,0 +1,69 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dar"
+	"repro/internal/models"
+)
+
+// ExampleCTS computes the critical time scale of an LRD video source at a
+// realistic ATM operating point: only the first m* frame correlations
+// influence the loss rate.
+func ExampleCTS() {
+	z, err := models.NewZ(0.975)
+	if err != nil {
+		log.Fatal(err)
+	}
+	op := core.Operating{C: 538, B: 134.5, N: 30} // 10 ms buffer
+	res, err := core.CTS(z, op, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("m* = %d frames\n", res.M)
+	// Output:
+	// m* = 29 frames
+}
+
+// ExampleBahadurRao estimates the buffer overflow probability of a Markov
+// video model.
+func ExampleBahadurRao() {
+	p, err := dar.NewDAR1(0.82, dar.GaussianMarginal(500, 5000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	op := core.Operating{C: 538, B: 26.9, N: 30} // 2 ms buffer
+	bop, err := core.BahadurRao(p, op, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P(W > B) ≈ %.1e\n", bop)
+	// Output:
+	// P(W > B) ≈ 5.4e-05
+}
+
+// ExampleMixBahadurRao sizes a heterogeneous multiplex: LRD video sharing
+// a link with Markov videoconference traffic.
+func ExampleMixBahadurRao() {
+	z, err := models.NewZ(0.975)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := models.FitS(z, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mix := core.Mix{
+		{Model: z, Count: 15},
+		{Model: d, Count: 15},
+	}
+	bop, err := core.MixBahadurRao(mix, 538*30, 134.5*30, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mixed-link P(W > B) ≈ %.0e\n", bop)
+	// Output:
+	// mixed-link P(W > B) ≈ 1e-06
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/models"
+)
+
+func TestMixValidate(t *testing.T) {
+	z, err := models.NewZ(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := Mix{{Model: z, Count: 10}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Mix{
+		{},
+		{{Model: nil, Count: 1}},
+		{{Model: z, Count: -1}},
+		{{Model: z, Count: 0}},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestMixTotals(t *testing.T) {
+	z, _ := models.NewZ(0.9)
+	l, _ := models.NewL()
+	mix := Mix{{Model: z, Count: 10}, {Model: l, Count: 5}}
+	if mix.TotalCount() != 15 {
+		t.Fatalf("count %d", mix.TotalCount())
+	}
+	if got := mix.MeanTotal(); math.Abs(got-15*500) > 1e-9 {
+		t.Fatalf("mean %v", got)
+	}
+}
+
+func TestHomogeneousMixMatchesPerSourceFormulation(t *testing.T) {
+	// A mix of N identical sources must reproduce the per-source CTS, the
+	// relation I_mix = N·I, and the identical B-R probability.
+	z, err := models.NewZ(0.975)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 30
+	op := Operating{C: 538, B: 100, N: n}
+	per, err := CTS(z, op, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := Mix{{Model: z, Count: n}}
+	got, err := MixCTS(mix, 538*n, 100*n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.M != per.M {
+		t.Fatalf("mix m* = %d, per-source %d", got.M, per.M)
+	}
+	if math.Abs(got.Rate-float64(n)*per.Rate)/got.Rate > 1e-12 {
+		t.Fatalf("mix rate %v, want N·I = %v", got.Rate, float64(n)*per.Rate)
+	}
+	pbMix, err := MixBahadurRao(mix, 538*n, 100*n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pbPer, err := BahadurRao(z, op, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pbMix-pbPer)/pbPer > 1e-12 {
+		t.Fatalf("mix B-R %v vs per-source %v", pbMix, pbPer)
+	}
+}
+
+func TestMixHeterogeneousBetweenPureMixes(t *testing.T) {
+	// A 50/50 mix of a strongly and a weakly correlated class must fall
+	// between the two pure configurations in overflow probability.
+	strong, err := models.NewZ(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weak, err := models.NewZ(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalC, totalB := 538.0*30, 200.0*30
+	pStrong, err := MixBahadurRao(Mix{{strong, 30}}, totalC, totalB, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pWeak, err := MixBahadurRao(Mix{{weak, 30}}, totalC, totalB, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pMix, err := MixBahadurRao(Mix{{strong, 15}, {weak, 15}}, totalC, totalB, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(pWeak < pMix && pMix < pStrong) {
+		t.Fatalf("ordering violated: weak %v, mix %v, strong %v", pWeak, pMix, pStrong)
+	}
+}
+
+func TestMixLargeNAboveBahadurRao(t *testing.T) {
+	z, _ := models.NewZ(0.9)
+	mix := Mix{{z, 30}}
+	br, err := MixBahadurRao(mix, 538*30, 100*30, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := MixLargeN(mix, 538*30, 100*30, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br >= ln {
+		t.Fatalf("B-R %v should sit below large-N %v", br, ln)
+	}
+}
+
+func TestMixCTSUnstable(t *testing.T) {
+	z, _ := models.NewZ(0.9)
+	if _, err := MixCTS(Mix{{z, 30}}, 400*30, 10, 0); err == nil {
+		t.Fatal("capacity below mean should error")
+	}
+	if _, err := MixCTS(Mix{{z, 30}}, 538*30, -1, 0); err == nil {
+		t.Fatal("negative buffer should error")
+	}
+}

@@ -1,0 +1,312 @@
+// Package dar implements the discrete autoregressive process of order p,
+// DAR(p), of Jacobs and Lewis (1978), exactly as used in the paper: a p-th
+// order Markov chain whose stationary marginal distribution is chosen freely
+// and whose autocorrelation function satisfies the Yule-Walker recursion of
+// an AR(p) process.
+//
+// The process is
+//
+//	S_n = V_n · S_{n−A_n} + (1−V_n) · ε_n
+//
+// where V_n is Bernoulli(ρ), A_n picks lag i with probability a_i
+// (Σ a_i = 1), and ε_n are i.i.d. draws from the marginal π. With
+// probability ρ the process repeats one of its last p values; otherwise it
+// innovates. Crucially the marginal of S_n is exactly π regardless of ρ and
+// a, which is what lets the paper hold first-order statistics fixed while
+// sweeping correlation structure.
+//
+// The package also provides the fitting procedure used for the paper's
+// model S: given the first p autocorrelations of a target process, solve
+// the (linear) Yule-Walker system for ρ and a_1..a_p so the DAR(p) matches
+// them exactly (paper §3.1 and Table 1).
+package dar
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/solver"
+	"repro/internal/traffic"
+)
+
+// Marginal describes the stationary marginal distribution π of a DAR
+// process: its first two moments plus a sampler.
+type Marginal struct {
+	Mean     float64
+	Variance float64
+	// Sample draws one value from π using r.
+	Sample func(r *rand.Rand) float64
+}
+
+// GaussianMarginal returns a Gaussian marginal with the given mean and
+// variance, the distribution used for every model in the paper.
+func GaussianMarginal(mean, variance float64) Marginal {
+	sd := math.Sqrt(variance)
+	return Marginal{
+		Mean:     mean,
+		Variance: variance,
+		Sample: func(r *rand.Rand) float64 {
+			return mean + sd*r.NormFloat64()
+		},
+	}
+}
+
+// Process is a DAR(p) process with a fixed parameterisation. Its ACF
+// evaluation is memoised and safe for concurrent use; generators returned
+// by NewGenerator are not safe for concurrent use (one per goroutine).
+type Process struct {
+	rho      float64
+	a        []float64 // selection probabilities, length p, sum 1
+	cumA     []float64 // cumulative sums of a for inverse sampling
+	marginal Marginal
+	name     string
+
+	mu     sync.Mutex
+	acfMem []float64 // memoised r(0), r(1), ... extended on demand
+}
+
+// New constructs a DAR(p) process. rho must lie in [0, 1); a must be a
+// probability vector (non-negative, summing to 1 within tolerance) of
+// length p ≥ 1.
+func New(rho float64, a []float64, marginal Marginal) (*Process, error) {
+	if rho < 0 || rho >= 1 {
+		return nil, fmt.Errorf("dar: rho %v outside [0, 1)", rho)
+	}
+	if len(a) == 0 {
+		return nil, errors.New("dar: empty selection vector")
+	}
+	var sum float64
+	for i, ai := range a {
+		if ai < -1e-12 {
+			return nil, fmt.Errorf("dar: negative selection probability a[%d] = %v", i+1, ai)
+		}
+		sum += ai
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return nil, fmt.Errorf("dar: selection probabilities sum to %v, want 1", sum)
+	}
+	if marginal.Sample == nil {
+		return nil, errors.New("dar: marginal has no sampler")
+	}
+	p := &Process{
+		rho:      rho,
+		a:        append([]float64(nil), a...),
+		marginal: marginal,
+		name:     fmt.Sprintf("DAR(%d)", len(a)),
+	}
+	p.cumA = make([]float64, len(a))
+	var c float64
+	for i, ai := range p.a {
+		c += ai
+		p.cumA[i] = c
+	}
+	p.cumA[len(p.cumA)-1] = 1 // guard against rounding in inverse sampling
+	return p, nil
+}
+
+// NewDAR1 constructs the first-order special case whose lag-k
+// autocorrelation is exactly rho^k.
+func NewDAR1(rho float64, marginal Marginal) (*Process, error) {
+	return New(rho, []float64{1}, marginal)
+}
+
+// Order returns p.
+func (p *Process) Order() int { return len(p.a) }
+
+// Rho returns the retention probability ρ.
+func (p *Process) Rho() float64 { return p.rho }
+
+// SelectionProbs returns a copy of a_1..a_p.
+func (p *Process) SelectionProbs() []float64 { return append([]float64(nil), p.a...) }
+
+// Name implements traffic.Model.
+func (p *Process) Name() string { return p.name }
+
+// SetName overrides the display name (e.g. "DAR(2) fit to Z^0.975").
+func (p *Process) SetName(name string) { p.name = name }
+
+// Mean implements traffic.Model.
+func (p *Process) Mean() float64 { return p.marginal.Mean }
+
+// Variance implements traffic.Model.
+func (p *Process) Variance() float64 { return p.marginal.Variance }
+
+// ACF implements traffic.Model. The autocorrelations satisfy
+// r(k) = Σ_{i=1..p} ρ a_i r(|k−i|) for k ≥ 1 with r(0) = 1; the first p
+// values follow from solving that linear system, later values from the
+// recursion. All computed values are memoised, so scanning lags 1..K (as
+// the critical-time-scale search does) costs O(K) total.
+func (p *Process) ACF(k int) float64 {
+	if k < 0 {
+		k = -k
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.acfMem == nil {
+		p.acfMem = p.solveACFBase()
+	}
+	for lag := len(p.acfMem); lag <= k; lag++ {
+		var r float64
+		for i, ai := range p.a {
+			r += p.rho * ai * p.acfMem[lag-1-i]
+		}
+		p.acfMem = append(p.acfMem, r)
+	}
+	return p.acfMem[k]
+}
+
+// solveACFBase solves the order-p Yule-Walker system for r(0..p).
+func (p *Process) solveACFBase() []float64 {
+	order := len(p.a)
+	base := make([]float64, order+1)
+	base[0] = 1
+	if order == 1 {
+		base[1] = p.rho * p.a[0]
+		return base
+	}
+	// Unknowns x_j = r(j), j = 1..p. Equation for k = 1..p:
+	//   r(k) − Σ_i ρ a_i r(|k−i|) = 0, with r(0) = 1 moved to the RHS.
+	mat := make([][]float64, order)
+	rhs := make([]float64, order)
+	for k := 1; k <= order; k++ {
+		row := make([]float64, order)
+		row[k-1] = 1
+		for i := 1; i <= order; i++ {
+			c := p.rho * p.a[i-1]
+			lag := k - i
+			if lag < 0 {
+				lag = -lag
+			}
+			if lag == 0 {
+				rhs[k-1] += c
+			} else {
+				row[lag-1] -= c
+			}
+		}
+		mat[k-1] = row
+	}
+	x, err := solver.Solve(mat, rhs)
+	if err != nil {
+		// The Yule-Walker matrix I−C is strictly diagonally dominant for
+		// ρ < 1 and can only be singular through pathological rounding;
+		// fall back to the DAR(1)-style geometric envelope.
+		for k := 1; k <= order; k++ {
+			base[k] = math.Pow(p.rho, float64(k))
+		}
+		return base
+	}
+	copy(base[1:], x)
+	return base
+}
+
+// generator is the sample-path state of a DAR(p) source.
+type generator struct {
+	p    *Process
+	rng  *rand.Rand
+	hist []float64 // last p values, most recent at hist[0]
+}
+
+// NewGenerator implements traffic.Model. The chain starts from p i.i.d.
+// draws of the marginal; because the marginal is exact for every n, no
+// warm-up is required for first-order statistics, and second-order
+// transients decay geometrically.
+func (p *Process) NewGenerator(seed int64) traffic.Generator {
+	rng := rand.New(rand.NewSource(seed))
+	hist := make([]float64, len(p.a))
+	for i := range hist {
+		hist[i] = p.marginal.Sample(rng)
+	}
+	return &generator{p: p, rng: rng, hist: hist}
+}
+
+// NextFrame implements traffic.Generator.
+func (g *generator) NextFrame() float64 {
+	var next float64
+	if g.rng.Float64() < g.p.rho {
+		// Repeat the value from lag A_n, where P(A_n = i) = a_i.
+		u := g.rng.Float64()
+		idx := len(g.p.cumA) - 1
+		for i, c := range g.p.cumA {
+			if u <= c {
+				idx = i
+				break
+			}
+		}
+		next = g.hist[idx]
+	} else {
+		next = g.p.marginal.Sample(g.rng)
+	}
+	// Shift history: hist[0] is S_{n-1} for the next step.
+	copy(g.hist[1:], g.hist)
+	g.hist[0] = next
+	return next
+}
+
+// Fit solves for the DAR(p) parameters (ρ, a) that exactly match the target
+// autocorrelations target[0..p-1] = r(1)..r(p). This is the construction of
+// the paper's model S (§3.1, Table 1): the Yule-Walker relations are linear
+// in c_i = ρ a_i, so one dense solve suffices.
+//
+// Fit returns an error when the target correlations are not achievable by a
+// DAR(p) (the solved ρ falls outside [0, 1) or some a_i is negative), which
+// signals the caller to reduce p or adjust targets.
+func Fit(target []float64, marginal Marginal) (*Process, error) {
+	p := len(target)
+	if p == 0 {
+		return nil, errors.New("dar: no target correlations")
+	}
+	for i, r := range target {
+		if r <= -1 || r >= 1 {
+			return nil, fmt.Errorf("dar: target correlation r(%d) = %v outside (-1, 1)", i+1, r)
+		}
+	}
+	// System: for k = 1..p, r(k) = Σ_i c_i r(|k−i|) with r(0) = 1.
+	r := func(lag int) float64 {
+		if lag < 0 {
+			lag = -lag
+		}
+		if lag == 0 {
+			return 1
+		}
+		return target[lag-1]
+	}
+	mat := make([][]float64, p)
+	rhs := make([]float64, p)
+	for k := 1; k <= p; k++ {
+		row := make([]float64, p)
+		for i := 1; i <= p; i++ {
+			row[i-1] = r(k - i)
+		}
+		mat[k-1] = row
+		rhs[k-1] = r(k)
+	}
+	c, err := solver.Solve(mat, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("dar: Yule-Walker solve failed: %w", err)
+	}
+	var rho float64
+	for _, ci := range c {
+		rho += ci
+	}
+	if rho <= 0 || rho >= 1 {
+		return nil, fmt.Errorf("dar: fitted rho %v outside (0, 1)", rho)
+	}
+	a := make([]float64, p)
+	for i, ci := range c {
+		a[i] = ci / rho
+		if a[i] < -1e-9 {
+			return nil, fmt.Errorf("dar: fitted a[%d] = %v negative; targets not DAR(%d)-feasible", i+1, a[i], p)
+		}
+		if a[i] < 0 {
+			a[i] = 0
+		}
+	}
+	proc, err := New(rho, a, marginal)
+	if err != nil {
+		return nil, err
+	}
+	return proc, nil
+}

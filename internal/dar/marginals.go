@@ -1,0 +1,37 @@
+package dar
+
+import (
+	"math/rand"
+
+	"repro/internal/randx"
+)
+
+// GammaMarginal returns a Gamma marginal with the given mean and variance
+// (shape = mean²/variance, scale = variance/mean). Gamma frame sizes have
+// a heavier right tail than Gaussian at matched moments, one of the
+// alternative marginals the paper's §6.1 discussion anticipates.
+func GammaMarginal(mean, variance float64) Marginal {
+	shape := mean * mean / variance
+	scale := variance / mean
+	return Marginal{
+		Mean:     mean,
+		Variance: variance,
+		Sample: func(r *rand.Rand) float64 {
+			return randx.Gamma(r, shape, scale)
+		},
+	}
+}
+
+// NegativeBinomialMarginal returns the over-dispersed discrete marginal
+// (variance > mean required) that Heyman and Lakshman used for VBR
+// videoconference frame sizes — the distribution under which they reached
+// the same conclusion as this paper (§6.1).
+func NegativeBinomialMarginal(mean, variance float64) Marginal {
+	return Marginal{
+		Mean:     mean,
+		Variance: variance,
+		Sample: func(r *rand.Rand) float64 {
+			return float64(randx.NegativeBinomial(r, mean, variance))
+		},
+	}
+}

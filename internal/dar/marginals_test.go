@@ -1,0 +1,93 @@
+package dar
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+func TestGammaMarginalMoments(t *testing.T) {
+	p, err := NewDAR1(0.5, GammaMarginal(500, 5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := traffic.Generate(p.NewGenerator(9), 300000)
+	if m := stats.Mean(xs); math.Abs(m-500) > 4 {
+		t.Fatalf("mean %v, want ≈500", m)
+	}
+	if v := stats.Variance(xs); math.Abs(v-5000)/5000 > 0.08 {
+		t.Fatalf("variance %v, want ≈5000", v)
+	}
+	for _, x := range xs[:10000] {
+		if x < 0 {
+			t.Fatal("gamma frames must be non-negative")
+		}
+	}
+}
+
+func TestGammaMarginalHeavierTailThanGaussian(t *testing.T) {
+	pg, err := NewDAR1(0, GammaMarginal(500, 5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn, err := NewDAR1(0, GaussianMarginal(500, 5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(p *Process, seed int64) int {
+		xs := traffic.Generate(p.NewGenerator(seed), 200000)
+		n := 0
+		for _, x := range xs {
+			if x > 500+3.5*math.Sqrt(5000) {
+				n++
+			}
+		}
+		return n
+	}
+	if g, n := count(pg, 1), count(pn, 2); g <= n {
+		t.Fatalf("gamma tail count %d should exceed gaussian %d", g, n)
+	}
+}
+
+func TestNegativeBinomialMarginal(t *testing.T) {
+	p, err := NewDAR1(0.9, NegativeBinomialMarginal(500, 5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := traffic.Generate(p.NewGenerator(3), 300000)
+	if m := stats.Mean(xs); math.Abs(m-500) > 5 {
+		t.Fatalf("mean %v, want ≈500", m)
+	}
+	if v := stats.Variance(xs); math.Abs(v-5000)/5000 > 0.12 {
+		t.Fatalf("variance %v, want ≈5000", v)
+	}
+	// Discrete support: every frame is a non-negative integer.
+	for _, x := range xs[:20000] {
+		if x < 0 || x != math.Trunc(x) {
+			t.Fatalf("frame %v not a non-negative integer", x)
+		}
+	}
+}
+
+func TestMarginalsPreserveACF(t *testing.T) {
+	// The DAR correlation structure is marginal-independent: ACF stays
+	// ρ^k for every marginal (the design property the paper leans on).
+	for _, marg := range []Marginal{
+		GammaMarginal(500, 5000),
+		NegativeBinomialMarginal(500, 5000),
+	} {
+		p, err := NewDAR1(0.8, marg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs := traffic.Generate(p.NewGenerator(5), 200000)
+		acf := stats.ACF(xs, 3)
+		for k := 1; k <= 3; k++ {
+			if want := math.Pow(0.8, float64(k)); math.Abs(acf[k]-want) > 0.03 {
+				t.Fatalf("ACF(%d) = %v, want ≈%v", k, acf[k], want)
+			}
+		}
+	}
+}

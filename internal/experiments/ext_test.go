@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExtMPEG(t *testing.T) {
+	rs, err := ExtMPEG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("got %d results, want 2", len(rs))
+	}
+	cts, bop := rs[0], rs[1]
+	if len(cts.Series) != 2 || len(bop.Series) != 2 {
+		t.Fatal("each panel needs base + MPEG series")
+	}
+	// The MPEG source has strictly more variance at matched mean, so its
+	// overflow probability dominates the base's at every positive buffer.
+	base, mpeg := bop.Series[0], bop.Series[1]
+	for i := 1; i < len(base.Y); i++ {
+		if mpeg.Y[i] <= base.Y[i] {
+			t.Fatalf("MPEG BOP %v not above base %v at %v msec",
+				mpeg.Y[i], base.Y[i], base.X[i])
+		}
+	}
+	// CTS stays finite and m*_0 = 1 for both.
+	for _, s := range cts.Series {
+		if s.Y[0] != 1 {
+			t.Fatalf("%s: m*_0 = %v", s.Label, s.Y[0])
+		}
+	}
+}
+
+func TestExtSubstrates(t *testing.T) {
+	rs, err := ExtSubstrates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("got %d results, want 2", len(rs))
+	}
+	cts, bop := rs[0], rs[1]
+	if len(cts.Series) != 4 || len(bop.Series) != 4 {
+		t.Fatal("want 4 substrates per panel")
+	}
+	// All substrates share the marginal, so all BOP curves start at the
+	// same zero-buffer value and decrease.
+	for _, s := range bop.Series {
+		if math.Abs(s.Y[0]-bop.Series[0].Y[0])/bop.Series[0].Y[0] > 1e-9 {
+			t.Fatalf("%s: zero-buffer BOP differs despite matched marginal", s.Label)
+		}
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] > s.Y[i-1] {
+				t.Fatalf("%s: BOP not decreasing", s.Label)
+			}
+		}
+	}
+	// Despite equal H, the curves at 20 msec must NOT coincide — that
+	// spread is the experiment's finding.
+	idx := indexOf(BufferGridMsec, 20)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range bop.Series {
+		lo, hi = math.Min(lo, s.Y[idx]), math.Max(hi, s.Y[idx])
+	}
+	if hi/lo < 3 {
+		t.Fatalf("substrates too similar at 20 msec (ratio %v); expected spread", hi/lo)
+	}
+	// Every CTS is finite, small at zero buffer, non-decreasing.
+	for _, s := range cts.Series {
+		if s.Y[0] != 1 {
+			t.Fatalf("%s: m*_0 = %v", s.Label, s.Y[0])
+		}
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] < s.Y[i-1] {
+				t.Fatalf("%s: CTS decreased", s.Label)
+			}
+		}
+	}
+}
+
+func TestExtMarginals(t *testing.T) {
+	r, err := ExtMarginals(SimConfig{Reps: 2, Frames: 8000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 3 {
+		t.Fatalf("got %d series, want 3", len(r.Series))
+	}
+	// All marginals share mean/variance, so zero-buffer CLRs are within a
+	// small factor of each other and of the Gaussian fluid value.
+	want := ZeroBufferCheck(BopC, BopN)
+	for _, s := range r.Series {
+		if s.Y[0] <= 0 {
+			t.Fatalf("%s: no loss at zero buffer", s.Label)
+		}
+		if ratio := s.Y[0] / want; ratio < 0.2 || ratio > 5 {
+			t.Fatalf("%s: zero-buffer CLR %v vs %v", s.Label, s.Y[0], want)
+		}
+	}
+	if _, err := ExtMarginals(SimConfig{}); err == nil {
+		t.Fatal("invalid config should error")
+	}
+}
+
+func TestExtWeibull(t *testing.T) {
+	rs, err := ExtWeibull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("got %d panels, want 3", len(rs))
+	}
+	for _, r := range rs {
+		if len(r.Series) != 3 {
+			t.Fatalf("%s: %d series, want 3", r.ID, len(r.Series))
+		}
+		wb, br := r.Series[0], r.Series[1]
+		// Eq. 6 and the numeric B-R must agree in log within 3% at every
+		// buffer (the only difference is the integer-m restriction).
+		for i := range wb.Y {
+			lw, lb := math.Log(wb.Y[i]), math.Log(br.Y[i])
+			if math.Abs(lw-lb) > 0.03*math.Abs(lb) {
+				t.Fatalf("%s at %v msec: log eq6 %v vs log B-R %v",
+					r.ID, wb.X[i], lw, lb)
+			}
+		}
+	}
+}
+
+func TestExtFLR(t *testing.T) {
+	r, err := ExtFLR(SimConfig{Reps: 1, Frames: 6000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 3 {
+		t.Fatalf("got %d series, want 3", len(r.Series))
+	}
+	clr, flr := r.Series[0], r.Series[1]
+	for i := range clr.Y {
+		if clr.Y[i] > 0 && flr.Y[i] <= clr.Y[i] {
+			t.Fatalf("FLR %v not above CLR %v at buffer %v", flr.Y[i], clr.Y[i], clr.X[i])
+		}
+	}
+	// Tight buffers must show observable loss at 97% load.
+	if clr.Y[0] <= 0 {
+		t.Fatal("no loss at 50-cell buffer under 97% load")
+	}
+	if _, err := ExtFLR(SimConfig{}); err == nil {
+		t.Fatal("invalid config should error")
+	}
+}

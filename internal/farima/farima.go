@@ -1,0 +1,78 @@
+// Package farima implements the fractional ARIMA(0, d, 0) process, the
+// paper's §2 example of an *asymptotic* LRD process (F-ARIMA(p,d,q)
+// family, Hurst H = d + 1/2 for 0 < d < 1/2). The autocorrelation has the
+// exact closed form
+//
+//	r(k) = Γ(1−d)·Γ(k+d) / (Γ(d)·Γ(k+1−d))
+//
+// computed stably by the recursion r(k) = r(k−1)·(k−1+d)/(k−d), and the
+// tail r(k) ~ Γ(1−d)/Γ(d)·k^{2d−1} — hyperbolic, like FGN, but with a
+// different constant and different short-lag behaviour, which is exactly
+// why the paper distinguishes asymptotic from exact LRD.
+//
+// Sample paths are synthesised exactly by circulant embedding (package
+// fgn's generalised Gaussian synthesis).
+package farima
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/fgn"
+)
+
+// Model is an F-ARIMA(0,d,0) frame-size process. It is a thin wrapper
+// keeping d and the ACF memo; the traffic.Model implementation is the
+// embedded Gaussian synthesiser.
+type Model struct {
+	*fgn.Model
+	D float64
+
+	mu  sync.Mutex
+	mem []float64 // memoised r(0), r(1), ...
+}
+
+// New constructs an F-ARIMA(0,d,0) model with 0 < d < 1/2 (long-range
+// dependent; H = d + 1/2) and the given marginal moments.
+func New(d, mean, variance float64) (*Model, error) {
+	if d <= 0 || d >= 0.5 {
+		return nil, fmt.Errorf("farima: d = %v outside (0, 0.5)", d)
+	}
+	m := &Model{D: d}
+	g, err := fgn.NewGaussianFromACF(
+		fmt.Sprintf("F-ARIMA(d=%.3g)", d), mean, variance, m.acf)
+	if err != nil {
+		return nil, err
+	}
+	m.Model = g
+	return m, nil
+}
+
+// Hurst returns H = d + 1/2.
+func (m *Model) Hurst() float64 { return m.D + 0.5 }
+
+// acf evaluates the exact F-ARIMA autocorrelation by the Gamma-ratio
+// recursion, memoised (safe for concurrent use).
+func (m *Model) acf(k int) float64 {
+	if k < 0 {
+		k = -k
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.mem == nil {
+		// r(1) = d/(1−d).
+		m.mem = []float64{1, m.D / (1 - m.D)}
+	}
+	for lag := len(m.mem); lag <= k; lag++ {
+		fl := float64(lag)
+		m.mem = append(m.mem, m.mem[lag-1]*(fl-1+m.D)/(fl-m.D))
+	}
+	return m.mem[k]
+}
+
+// TailConstant returns the hyperbolic-tail coefficient Γ(1−d)/Γ(d), with
+// r(k) ≈ TailConstant·k^{2d−1} for large k.
+func (m *Model) TailConstant() float64 {
+	return math.Gamma(1-m.D) / math.Gamma(m.D)
+}

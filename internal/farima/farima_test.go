@@ -1,0 +1,129 @@
+package farima
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hurst"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, d := range []float64{0, 0.5, -0.1, 0.9} {
+		if _, err := New(d, 0, 1); err == nil {
+			t.Errorf("d=%v: expected error", d)
+		}
+	}
+	if _, err := New(0.4, 0, 0); err == nil {
+		t.Error("zero variance should error")
+	}
+}
+
+func TestACFClosedForm(t *testing.T) {
+	// Compare the recursion against the direct Gamma-ratio formula.
+	d := 0.3
+	m, err := New(d, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := func(k int) float64 {
+		lg := func(x float64) float64 { v, _ := math.Lgamma(x); return v }
+		return math.Exp(lg(1-d) + lg(float64(k)+d) - lg(d) - lg(float64(k)+1-d))
+	}
+	for _, k := range []int{1, 2, 5, 10, 100, 1000} {
+		if got, want := m.ACF(k), direct(k); math.Abs(got-want)/want > 1e-10 {
+			t.Fatalf("ACF(%d) = %v, closed form %v", k, got, want)
+		}
+	}
+	if m.ACF(0) != 1 || m.ACF(-3) != m.ACF(3) {
+		t.Fatal("basic ACF properties violated")
+	}
+}
+
+func TestACFFirstLag(t *testing.T) {
+	// r(1) = d/(1−d).
+	m, err := New(0.4, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.ACF(1), 0.4/0.6; math.Abs(got-want) > 1e-14 {
+		t.Fatalf("r(1) = %v, want %v", got, want)
+	}
+}
+
+func TestACFHyperbolicTail(t *testing.T) {
+	m, err := New(0.35, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1000, 10000} {
+		want := m.TailConstant() * math.Pow(float64(k), 2*m.D-1)
+		if got := m.ACF(k); math.Abs(got-want)/want > 0.01 {
+			t.Fatalf("ACF(%d) = %v, tail asymptote %v", k, got, want)
+		}
+	}
+}
+
+func TestHurst(t *testing.T) {
+	m, _ := New(0.4, 0, 1)
+	if m.Hurst() != 0.9 {
+		t.Fatalf("H = %v, want 0.9", m.Hurst())
+	}
+}
+
+func TestGeneratorMomentsAndACF(t *testing.T) {
+	m, err := New(0.4, 500, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.BlockLen = 1 << 14
+	xs := traffic.Generate(m.NewGenerator(5), 1<<17)
+	if got := stats.Mean(xs); math.Abs(got-500) > 10 {
+		t.Fatalf("mean %v, want ≈500", got)
+	}
+	if got := stats.Variance(xs); math.Abs(got-5000)/5000 > 0.15 {
+		t.Fatalf("variance %v, want ≈5000", got)
+	}
+	acf := stats.ACF(xs, 10)
+	for k := 1; k <= 10; k++ {
+		if math.Abs(acf[k]-m.ACF(k)) > 0.05 {
+			t.Fatalf("empirical ACF(%d) = %v, analytic %v", k, acf[k], m.ACF(k))
+		}
+	}
+}
+
+func TestGeneratorLRD(t *testing.T) {
+	m, err := New(0.4, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.BlockLen = 1 << 15
+	xs := traffic.Generate(m.NewGenerator(8), 1<<17)
+	h, err := hurst.VarianceTime(xs, 10, len(xs)/32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-0.9) > 0.08 {
+		t.Fatalf("estimated H %v, want ≈0.9", h)
+	}
+}
+
+func TestGeneratorReproducible(t *testing.T) {
+	m, _ := New(0.3, 0, 1)
+	m.BlockLen = 256
+	a := traffic.Generate(m.NewGenerator(4), 500)
+	b := traffic.Generate(m.NewGenerator(4), 500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed paths diverged")
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	m, _ := New(0.25, 0, 1)
+	if m.Name() != "F-ARIMA(d=0.25)" {
+		t.Fatalf("name %q", m.Name())
+	}
+}

@@ -1,0 +1,344 @@
+package fbndp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+// zParams are the FBNDP component parameters of the paper's Z^a model
+// (Table 1): α = 0.8, λ = 6250 cells/s, T0 = 2.57 ms, M = 15, Ts = 40 ms.
+func zParams() Params {
+	return Params{Alpha: 0.8, Lambda: 6250, T0: 2.57e-3, M: 15, Ts: 0.04}
+}
+
+func TestValidate(t *testing.T) {
+	good := zParams()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{Alpha: 0, Lambda: 1, T0: 1, M: 1, Ts: 1},
+		{Alpha: 1, Lambda: 1, T0: 1, M: 1, Ts: 1},
+		{Alpha: 0.5, Lambda: 0, T0: 1, M: 1, Ts: 1},
+		{Alpha: 0.5, Lambda: 1, T0: 0, M: 1, Ts: 1},
+		{Alpha: 0.5, Lambda: 1, T0: 1, M: 0, Ts: 1},
+		{Alpha: 0.5, Lambda: 1, T0: 1, M: 1, Ts: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	if _, err := NewModel(bad[0]); err == nil {
+		t.Error("NewModel should reject invalid params")
+	}
+}
+
+func TestHurst(t *testing.T) {
+	if got := zParams().Hurst(); got != 0.9 {
+		t.Fatalf("H = %v, want 0.9", got)
+	}
+}
+
+func TestMeanVarianceMatchTable1(t *testing.T) {
+	p := zParams()
+	if got := p.Mean(); math.Abs(got-250) > 1e-9 {
+		t.Fatalf("mean = %v, want 250 cells/frame", got)
+	}
+	// With T0 = 2.57 ms the variance should be ≈ 2500 (paper: the FBNDP
+	// component of Z^a carries half the total variance of 5000).
+	if got := p.Variance(); math.Abs(got-2500) > 20 {
+		t.Fatalf("variance = %v, want ≈2500", got)
+	}
+}
+
+func TestSolveT0ReproducesTable1(t *testing.T) {
+	cases := []struct {
+		name                string
+		mean, vari, alpha   float64
+		wantMS, toleranceMS float64
+	}{
+		// Z^a component: T0 = 2.57 ms.
+		{"Z", 250, 2500, 0.8, 2.57, 0.01},
+		// V^v component at v = 1: T0 = 3.48 ms.
+		{"V", 250, 2500, 0.9, 3.48, 0.01},
+		// L: paper lists 1.83 ms; our self-consistent derivation from
+		// (μ, σ², α) = (500, 5000, 0.72) gives 1.89 ms — the paper's value
+		// implies σ² ≈ 5108, a rounding of their workflow. Shape-preserving.
+		{"L", 500, 5000, 0.72, 1.89, 0.01},
+	}
+	for _, c := range cases {
+		t0, err := SolveT0(c.mean, c.vari, c.alpha, 0.04)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if math.Abs(t0*1000-c.wantMS) > c.toleranceMS {
+			t.Errorf("%s: T0 = %.4f ms, want ≈%.2f ms", c.name, t0*1000, c.wantMS)
+		}
+	}
+}
+
+func TestSolveT0Errors(t *testing.T) {
+	if _, err := SolveT0(100, 50, 0.8, 0.04); err == nil {
+		t.Error("under-dispersed input should error")
+	}
+	if _, err := SolveT0(100, 200, 1.5, 0.04); err == nil {
+		t.Error("alpha out of range should error")
+	}
+}
+
+func TestSolveT0RoundTrip(t *testing.T) {
+	// Params built from SolveT0 must reproduce the requested variance.
+	t0, err := SolveT0(250, 2500, 0.8, 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{Alpha: 0.8, Lambda: 250 / 0.04, T0: t0, M: 15, Ts: 0.04}
+	if got := p.Variance(); math.Abs(got-2500) > 1e-6 {
+		t.Fatalf("round-trip variance = %v, want 2500", got)
+	}
+}
+
+func TestCutoffAConsistentWithT0(t *testing.T) {
+	// Recomputing T0 from A and R via the paper's relation must return the
+	// original T0: T0^α = K(α)·R^{−1}·A^{α−1}.
+	p := zParams()
+	a := p.CutoffA()
+	if a <= 0 {
+		t.Fatalf("A = %v", a)
+	}
+	t0alpha := kAlpha(p.Alpha) / p.OnRate() * math.Pow(a, p.Alpha-1)
+	t0 := math.Pow(t0alpha, 1/p.Alpha)
+	if math.Abs(t0-p.T0)/p.T0 > 1e-9 {
+		t.Fatalf("round-trip T0 = %v, want %v", t0, p.T0)
+	}
+}
+
+func TestACFBasicShape(t *testing.T) {
+	p := zParams()
+	if p.ACF(0) != 1 {
+		t.Fatal("ACF(0) must be 1")
+	}
+	if got, want := p.ACF(-5), p.ACF(5); got != want {
+		t.Fatal("ACF must be symmetric in lag")
+	}
+	// r(1) = [1/(1+(T0/Ts)^α)]·½(2^{α+1}−2) ≈ 0.9 × 0.741 ≈ 0.667.
+	if got := p.ACF(1); math.Abs(got-0.667) > 0.005 {
+		t.Fatalf("ACF(1) = %v, want ≈0.667", got)
+	}
+	// Monotone decreasing, positive.
+	prev := 1.0
+	for k := 1; k <= 2000; k *= 2 {
+		r := p.ACF(k)
+		if r <= 0 || r >= prev {
+			t.Fatalf("ACF not positive-decreasing at lag %d: %v (prev %v)", k, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestACFPowerLawTail(t *testing.T) {
+	// For large k, r(k) ≈ c·k^{α−1}·α(α+1)/2-ish; the ratio
+	// r(2k)/r(k) → 2^{α−1}.
+	p := zParams()
+	want := math.Pow(2, p.Alpha-1)
+	for _, k := range []int{200, 1000, 5000} {
+		ratio := p.ACF(2*k) / p.ACF(k)
+		if math.Abs(ratio-want) > 0.01 {
+			t.Fatalf("r(2k)/r(k) at k=%d: %v, want ≈%v", k, ratio, want)
+		}
+	}
+}
+
+func TestDurationsDensityContinuity(t *testing.T) {
+	// CDF-based check: F(A) should equal 1−e^{−γ}, and sample fractions
+	// below A should match.
+	d := newDurations(0.8, 1.0)
+	rng := rand.New(rand.NewSource(9))
+	n, below := 200000, 0
+	for i := 0; i < n; i++ {
+		if d.sample(rng) <= d.a {
+			below++
+		}
+	}
+	frac := float64(below) / float64(n)
+	want := 1 - math.Exp(-d.gamma)
+	if math.Abs(frac-want) > 0.005 {
+		t.Fatalf("P(T ≤ A) = %v, want %v", frac, want)
+	}
+}
+
+func TestDurationsMean(t *testing.T) {
+	// Use a milder tail (γ = 1.8) where the sample mean converges well.
+	d := newDurations(0.2, 1.0)
+	rng := rand.New(rand.NewSource(4))
+	var sum float64
+	n := 2_000_000
+	for i := 0; i < n; i++ {
+		sum += d.sample(rng)
+	}
+	got := sum / float64(n)
+	if math.Abs(got-d.mean)/d.mean > 0.05 {
+		t.Fatalf("sample mean %v, analytic %v", got, d.mean)
+	}
+}
+
+func TestDurationsResidualSurvival(t *testing.T) {
+	// The equilibrium residual distribution has survival
+	// P(Te > t) = (E[T] − G(t))/E[T]; verify empirically at several t.
+	d := newDurations(0.5, 1.0)
+	rng := rand.New(rand.NewSource(12))
+	n := 400000
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = d.sampleResidual(rng)
+	}
+	gOf := func(t float64) float64 {
+		g := d.gamma
+		if t <= d.a {
+			return d.a / g * (1 - math.Exp(-g*t/d.a))
+		}
+		return d.intBody + math.Exp(-g)*math.Pow(d.a, g)*
+			(math.Pow(d.a, 1-g)-math.Pow(t, 1-g))/(g-1)
+	}
+	for _, tv := range []float64{0.2, 0.5, 1.0, 3.0, 10.0} {
+		want := (d.mean - gOf(tv)) / d.mean
+		var count int
+		for _, s := range samples {
+			if s > tv {
+				count++
+			}
+		}
+		got := float64(count) / float64(n)
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("P(Te > %v) = %v, want %v", tv, got, want)
+		}
+	}
+}
+
+func TestDurationsSamplesPositive(t *testing.T) {
+	d := newDurations(0.8, 2.0)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100000; i++ {
+		if s := d.sample(rng); s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			t.Fatalf("bad duration sample %v", s)
+		}
+		if s := d.sampleResidual(rng); s <= 0 || math.IsNaN(s) {
+			t.Fatalf("bad residual sample %v", s)
+		}
+	}
+}
+
+func TestGeneratorMeanAndVariance(t *testing.T) {
+	// Long-range dependence makes single-path moment estimators converge
+	// at rate n^{H−1} (stable-law fluctuations from the heavy-tailed
+	// phases), so average over independent replications as the paper's own
+	// simulations do.
+	m, err := NewModel(zParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meanSum, varSum float64
+	const reps = 6
+	for seed := int64(1); seed <= reps; seed++ {
+		xs := traffic.Generate(m.NewGenerator(seed), 100000)
+		meanSum += stats.Mean(xs)
+		varSum += stats.Variance(xs)
+	}
+	gotMean := meanSum / reps
+	if math.Abs(gotMean-250)/250 > 0.05 {
+		t.Fatalf("replication mean %v, want ≈250", gotMean)
+	}
+	gotVar := varSum / reps
+	// The windowed variance estimator under-measures LRD variance by the
+	// unseen low-frequency power (≈15% at this H and window).
+	if gotVar < 1500 || gotVar > 3500 {
+		t.Fatalf("replication variance %v, want within [1500, 3500] of ≈2500", gotVar)
+	}
+}
+
+func TestGeneratorShortTermACF(t *testing.T) {
+	m, err := NewModel(zParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := traffic.Generate(m.NewGenerator(31), 200000)
+	acf := stats.ACF(xs, 5)
+	for k := 1; k <= 5; k++ {
+		if math.Abs(acf[k]-m.ACF(k)) > 0.12 {
+			t.Fatalf("ACF(%d) = %v, analytic %v", k, acf[k], m.ACF(k))
+		}
+	}
+}
+
+func TestGeneratorLongMemoryPresent(t *testing.T) {
+	// Average ACF over lags 50..100 should be clearly positive (an SRD
+	// process of matched lag-1 correlation would be ≈0 there).
+	m, err := NewModel(zParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := traffic.Generate(m.NewGenerator(77), 300000)
+	acf := stats.ACF(xs, 100)
+	var sum float64
+	for k := 50; k <= 100; k++ {
+		sum += acf[k]
+	}
+	avg := sum / 51
+	if avg < 0.05 {
+		t.Fatalf("mean ACF over lags 50..100 = %v; long memory missing", avg)
+	}
+}
+
+func TestGeneratorReproducible(t *testing.T) {
+	m, err := NewModel(zParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := traffic.Generate(m.NewGenerator(5), 200)
+	b := traffic.Generate(m.NewGenerator(5), 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at frame %d", i)
+		}
+	}
+}
+
+func TestGeneratorNonNegativeCounts(t *testing.T) {
+	m, err := NewModel(zParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range traffic.Generate(m.NewGenerator(1), 5000) {
+		if x < 0 || x != math.Trunc(x) {
+			t.Fatalf("frame count %v not a non-negative integer", x)
+		}
+	}
+}
+
+func TestModelName(t *testing.T) {
+	m, _ := NewModel(zParams())
+	if m.Name() == "" {
+		t.Fatal("empty name")
+	}
+	m.SetName("L")
+	if m.Name() != "L" {
+		t.Fatal("SetName failed")
+	}
+}
+
+func BenchmarkGeneratorFrame(b *testing.B) {
+	m, err := NewModel(zParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := m.NewGenerator(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.NextFrame()
+	}
+}

@@ -1,0 +1,89 @@
+// Package fft provides an iterative radix-2 fast Fourier transform over
+// complex128 slices. It exists to support the Davies-Harte exact synthesis
+// of fractional Gaussian noise (package fgn); the transform sizes there are
+// always powers of two, so a radix-2 kernel is all that is needed.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// NextPow2 returns the smallest power of two ≥ n (and ≥ 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// Forward computes the in-place forward DFT
+// X[k] = Σ_j x[j]·e^{−2πi jk/n}. len(x) must be a power of two.
+func Forward(x []complex128) error { return transform(x, -1) }
+
+// Inverse computes the in-place inverse DFT, including the 1/n scaling, so
+// Inverse(Forward(x)) == x. len(x) must be a power of two.
+func Inverse(x []complex128) error {
+	if err := transform(x, +1); err != nil {
+		return err
+	}
+	inv := complex(1/float64(len(x)), 0)
+	for i := range x {
+		x[i] *= inv
+	}
+	return nil
+}
+
+// transform runs the iterative Cooley-Tukey butterfly with twiddle sign s.
+func transform(x []complex128, s float64) error {
+	n := len(x)
+	if !IsPow2(n) {
+		return fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	if n == 1 {
+		return nil
+	}
+	// Bit-reversal permutation.
+	shift := bits.UintSize - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse(uint(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := s * 2 * math.Pi / float64(size)
+		wStep := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+	return nil
+}
+
+// RealForward transforms a real sequence, returning a freshly allocated
+// complex spectrum of the same (power-of-two) length.
+func RealForward(x []float64) ([]complex128, error) {
+	c := make([]complex128, len(x))
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	if err := Forward(c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

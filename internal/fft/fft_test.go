@@ -1,0 +1,247 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIsPow2(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 1024} {
+		if !IsPow2(n) {
+			t.Errorf("IsPow2(%d) = false", n)
+		}
+	}
+	for _, n := range []int{0, -4, 3, 6, 1000} {
+		if IsPow2(n) {
+			t.Errorf("IsPow2(%d) = true", n)
+		}
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{-3: 1, 0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1000: 1024, 1024: 1024}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestForwardRejectsNonPow2(t *testing.T) {
+	if err := Forward(make([]complex128, 3)); err == nil {
+		t.Fatal("expected error for length 3")
+	}
+	if err := Inverse(make([]complex128, 0)); err == nil {
+		t.Fatal("expected error for length 0")
+	}
+}
+
+func TestForwardImpulse(t *testing.T) {
+	// DFT of a unit impulse is all ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	if err := Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("X[%d] = %v, want 1", k, v)
+		}
+	}
+}
+
+func TestForwardConstant(t *testing.T) {
+	// DFT of a constant is an impulse of height n at bin 0.
+	n := 16
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = 2
+	}
+	if err := Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(x[0]-complex(float64(2*n), 0)) > 1e-9 {
+		t.Fatalf("X[0] = %v, want %d", x[0], 2*n)
+	}
+	for k := 1; k < n; k++ {
+		if cmplx.Abs(x[k]) > 1e-9 {
+			t.Fatalf("X[%d] = %v, want 0", k, x[k])
+		}
+	}
+}
+
+func TestForwardSingleTone(t *testing.T) {
+	// x[j] = e^{2πi·3j/n} concentrates all energy in bin 3.
+	n := 32
+	x := make([]complex128, n)
+	for j := range x {
+		x[j] = cmplx.Exp(complex(0, 2*math.Pi*3*float64(j)/float64(n)))
+	}
+	if err := Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	for k := range x {
+		want := 0.0
+		if k == 3 {
+			want = float64(n)
+		}
+		if cmplx.Abs(x[k]-complex(want, 0)) > 1e-9 {
+			t.Fatalf("X[%d] = %v, want %v", k, x[k], want)
+		}
+	}
+}
+
+func TestForwardMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 64
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	want := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			s += x[j] * cmplx.Exp(complex(0, -2*math.Pi*float64(k*j)/float64(n)))
+		}
+		want[k] = s
+	}
+	got := append([]complex128(nil), x...)
+	if err := Forward(got); err != nil {
+		t.Fatal(err)
+	}
+	for k := range want {
+		if cmplx.Abs(got[k]-want[k]) > 1e-9 {
+			t.Fatalf("bin %d: fft %v, naive %v", k, got[k], want[k])
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{1, 2, 8, 256, 4096} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		orig := append([]complex128(nil), x...)
+		if err := Forward(x); err != nil {
+			t.Fatal(err)
+		}
+		if err := Inverse(x); err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-10 {
+				t.Fatalf("n=%d: round trip diverged at %d: %v vs %v", n, i, x[i], orig[i])
+			}
+		}
+	}
+}
+
+// Property: Parseval's identity Σ|x|² = (1/n)Σ|X|².
+func TestParsevalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + rng.Intn(8))
+		x := make([]complex128, n)
+		var timeE float64
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			timeE += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		if err := Forward(x); err != nil {
+			return false
+		}
+		var freqE float64
+		for _, v := range x {
+			freqE += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(timeE-freqE/float64(n)) < 1e-8*(1+timeE)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: linearity F(ax + by) = aF(x) + bF(y).
+func TestLinearityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + rng.Intn(6))
+		a := complex(rng.NormFloat64(), rng.NormFloat64())
+		b := complex(rng.NormFloat64(), rng.NormFloat64())
+		x := make([]complex128, n)
+		y := make([]complex128, n)
+		combo := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			y[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			combo[i] = a*x[i] + b*y[i]
+		}
+		if Forward(x) != nil || Forward(y) != nil || Forward(combo) != nil {
+			return false
+		}
+		for i := range combo {
+			if cmplx.Abs(combo[i]-(a*x[i]+b*y[i])) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealForward(t *testing.T) {
+	c, err := RealForward([]float64{1, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range c {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 1", k, v)
+		}
+	}
+	if _, err := RealForward(make([]float64, 5)); err == nil {
+		t.Fatal("expected error for non-power-of-two input")
+	}
+}
+
+func TestRealSpectrumConjugateSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 64
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	c, err := RealForward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k < n; k++ {
+		if cmplx.Abs(c[k]-cmplx.Conj(c[n-k])) > 1e-9 {
+			t.Fatalf("conjugate symmetry broken at bin %d", k)
+		}
+	}
+}
+
+func BenchmarkForward4096(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]complex128, 4096)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+	}
+	buf := make([]complex128, len(x))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		if err := Forward(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Package hurst estimates the Hurst parameter of a time series, used to
+// verify that the repository's traffic generators deliver the long-range
+// dependence they are designed for (paper §2: H > 0.5 defines LRD).
+//
+// Two classical estimators are provided:
+//
+//   - Variance-time (aggregated variance): the variance of the m-aggregated
+//     series of an LRD process decays like m^{2H−2}; H is read off a
+//     log-log regression slope.
+//   - Rescaled range (R/S): E[R(n)/S(n)] ~ c·n^H; H is the log-log slope of
+//     the rescaled range across block sizes.
+//
+// Both are slope estimators with well-known bias at finite lengths; tests
+// assert band membership, not point equality.
+package hurst
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// regress fits y = a + b·x by least squares, returning the slope b.
+func regress(x, y []float64) float64 {
+	mx, my := stats.Mean(x), stats.Mean(y)
+	var num, den float64
+	for i := range x {
+		num += (x[i] - mx) * (y[i] - my)
+		den += (x[i] - mx) * (x[i] - mx)
+	}
+	return num / den
+}
+
+// aggregated returns the series averaged over non-overlapping blocks of
+// size m (tail remainder discarded).
+func aggregated(xs []float64, m int) []float64 {
+	n := len(xs) / m
+	out := make([]float64, n)
+	for b := 0; b < n; b++ {
+		out[b] = stats.Mean(xs[b*m : (b+1)*m])
+	}
+	return out
+}
+
+// blockSizes produces a geometric ladder of aggregation levels between
+// lo and hi (inclusive-ish), suitable for slope regressions.
+func blockSizes(lo, hi int) []int {
+	var out []int
+	prev := 0
+	for f := float64(lo); f <= float64(hi); f *= 1.5 {
+		m := int(f)
+		if m > prev {
+			out = append(out, m)
+			prev = m
+		}
+	}
+	return out
+}
+
+// VarianceTime estimates H by the aggregated-variance method. The series
+// must contain at least 10× the largest aggregation level; levels span
+// [lo, hi]. Typical usage: VarianceTime(xs, 10, len(xs)/20).
+func VarianceTime(xs []float64, lo, hi int) (float64, error) {
+	if lo < 2 || hi <= lo {
+		return 0, fmt.Errorf("hurst: invalid aggregation range [%d, %d]", lo, hi)
+	}
+	if len(xs) < 10*hi {
+		return 0, fmt.Errorf("hurst: series length %d too short for level %d", len(xs), hi)
+	}
+	base := stats.Variance(xs)
+	if base == 0 {
+		return 0, fmt.Errorf("hurst: constant series")
+	}
+	var lx, ly []float64
+	for _, m := range blockSizes(lo, hi) {
+		v := stats.Variance(aggregated(xs, m))
+		if v <= 0 {
+			continue
+		}
+		lx = append(lx, math.Log(float64(m)))
+		ly = append(ly, math.Log(v/base))
+	}
+	if len(lx) < 3 {
+		return 0, fmt.Errorf("hurst: too few usable aggregation levels")
+	}
+	beta := regress(lx, ly) // slope ≈ 2H − 2
+	return 1 + beta/2, nil
+}
+
+// RS estimates H by the rescaled-range method over block sizes in
+// [lo, hi]. Typical usage: RS(xs, 16, len(xs)/8).
+func RS(xs []float64, lo, hi int) (float64, error) {
+	if lo < 8 || hi <= lo {
+		return 0, fmt.Errorf("hurst: invalid block range [%d, %d]", lo, hi)
+	}
+	if len(xs) < 2*hi {
+		return 0, fmt.Errorf("hurst: series length %d too short for block %d", len(xs), hi)
+	}
+	var lx, ly []float64
+	for _, n := range blockSizes(lo, hi) {
+		blocks := len(xs) / n
+		var sum float64
+		var used int
+		for b := 0; b < blocks; b++ {
+			rs, ok := rescaledRange(xs[b*n : (b+1)*n])
+			if ok {
+				sum += rs
+				used++
+			}
+		}
+		if used == 0 {
+			continue
+		}
+		lx = append(lx, math.Log(float64(n)))
+		ly = append(ly, math.Log(sum/float64(used)))
+	}
+	if len(lx) < 3 {
+		return 0, fmt.Errorf("hurst: too few usable block sizes")
+	}
+	return regress(lx, ly), nil
+}
+
+// rescaledRange computes R/S of one block: the range of the mean-adjusted
+// cumulative sum divided by the block standard deviation.
+func rescaledRange(block []float64) (float64, bool) {
+	m := stats.Mean(block)
+	sd := stats.StdDev(block)
+	if sd == 0 {
+		return 0, false
+	}
+	var cum, lo, hi float64
+	for _, x := range block {
+		cum += x - m
+		if cum < lo {
+			lo = cum
+		}
+		if cum > hi {
+			hi = cum
+		}
+	}
+	return (hi - lo) / sd, true
+}

@@ -1,0 +1,140 @@
+package hurst
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fgn"
+	"repro/internal/models"
+	"repro/internal/traffic"
+)
+
+func whiteNoise(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	return xs
+}
+
+func TestVarianceTimeWhiteNoise(t *testing.T) {
+	h, err := VarianceTime(whiteNoise(200000, 1), 10, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-0.5) > 0.06 {
+		t.Fatalf("white noise H = %v, want ≈0.5", h)
+	}
+}
+
+func TestRSWhiteNoise(t *testing.T) {
+	h, err := RS(whiteNoise(200000, 2), 16, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R/S is biased upward at finite n; accept the classical band.
+	if h < 0.45 || h > 0.62 {
+		t.Fatalf("white noise R/S H = %v, want ≈0.5-0.6", h)
+	}
+}
+
+func TestVarianceTimeFGN(t *testing.T) {
+	for _, hTrue := range []float64{0.7, 0.9} {
+		m, err := fgn.NewModel(hTrue, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs := traffic.Generate(m.NewGenerator(3), 1<<18)
+		h, err := VarianceTime(xs, 10, len(xs)/20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(h-hTrue) > 0.08 {
+			t.Fatalf("FGN H=%v: estimated %v", hTrue, h)
+		}
+	}
+}
+
+func TestRSFGN(t *testing.T) {
+	m, err := fgn.NewModel(0.85, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := traffic.Generate(m.NewGenerator(7), 1<<18)
+	h, err := RS(xs, 32, len(xs)/8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-0.85) > 0.1 {
+		t.Fatalf("FGN H=0.85: R/S estimated %v", h)
+	}
+}
+
+func TestVarianceTimeZModelIsLRD(t *testing.T) {
+	// The paper's Z^a is designed with H = 0.9; the estimator should
+	// clearly separate it from SRD (H = 0.5).
+	z, err := models.NewZ(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := traffic.Generate(z.NewGenerator(5), 300000)
+	h, err := VarianceTime(xs, 20, len(xs)/30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 0.72 {
+		t.Fatalf("Z^0.7 estimated H = %v; LRD signature missing", h)
+	}
+	if h > 1.02 {
+		t.Fatalf("Z^0.7 estimated H = %v out of range", h)
+	}
+}
+
+func TestEstimatorInputValidation(t *testing.T) {
+	xs := whiteNoise(1000, 4)
+	if _, err := VarianceTime(xs, 1, 50); err == nil {
+		t.Error("lo < 2 should error")
+	}
+	if _, err := VarianceTime(xs, 50, 20); err == nil {
+		t.Error("inverted range should error")
+	}
+	if _, err := VarianceTime(xs, 10, 500); err == nil {
+		t.Error("series too short should error")
+	}
+	if _, err := RS(xs, 4, 100); err == nil {
+		t.Error("lo < 8 should error")
+	}
+	if _, err := RS(xs, 16, 900); err == nil {
+		t.Error("series too short for blocks should error")
+	}
+	constant := make([]float64, 5000)
+	if _, err := VarianceTime(constant, 10, 100); err == nil {
+		t.Error("constant series should error")
+	}
+}
+
+func TestRescaledRangeKnownBlock(t *testing.T) {
+	// Block {1, −1, 1, −1}: mean 0, sd 1, cumulative sums 1, 0, 1, 0 →
+	// range 1, so R/S = 1.
+	rs, ok := rescaledRange([]float64{1, -1, 1, -1})
+	if !ok || math.Abs(rs-1) > 1e-12 {
+		t.Fatalf("R/S = %v ok=%v, want 1", rs, ok)
+	}
+	if _, ok := rescaledRange([]float64{3, 3, 3}); ok {
+		t.Fatal("constant block should be rejected")
+	}
+}
+
+func TestBlockSizesAscending(t *testing.T) {
+	bs := blockSizes(10, 1000)
+	if len(bs) < 5 {
+		t.Fatalf("too few block sizes: %v", bs)
+	}
+	for i := 1; i < len(bs); i++ {
+		if bs[i] <= bs[i-1] {
+			t.Fatalf("not strictly ascending: %v", bs)
+		}
+	}
+}

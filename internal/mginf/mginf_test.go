@@ -1,0 +1,185 @@
+package mginf
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hurst"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+// std is an M/G/∞ source matching the paper's marginal: mean 500,
+// variance 5000 (ρ = 10, ν = 50), H = 0.9, s0 = one frame.
+func std(t testing.TB) *Model {
+	t.Helper()
+	m, err := NewFromMoments(500, 5000, 0.9, 0.04, 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Params{
+		{SessionRate: 0, MinHold: 1, Gamma: 1.5, Rate: 1, Ts: 1},
+		{SessionRate: 1, MinHold: 0, Gamma: 1.5, Rate: 1, Ts: 1},
+		{SessionRate: 1, MinHold: 1, Gamma: 1, Rate: 1, Ts: 1},
+		{SessionRate: 1, MinHold: 1, Gamma: 2, Rate: 1, Ts: 1},
+		{SessionRate: 1, MinHold: 1, Gamma: 1.5, Rate: 0, Ts: 1},
+		{SessionRate: 1, MinHold: 1, Gamma: 1.5, Rate: 1, Ts: 0},
+	}
+	for i, p := range bad {
+		if _, err := New(p); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestNewFromMomentsValidation(t *testing.T) {
+	if _, err := NewFromMoments(500, 400, 0.9, 0.04, 0.04); err == nil {
+		t.Error("under-dispersion should error")
+	}
+	if _, err := NewFromMoments(500, 5000, 0.5, 0.04, 0.04); err == nil {
+		t.Error("H = 0.5 should error")
+	}
+	if _, err := NewFromMoments(500, 5000, 1.0, 0.04, 0.04); err == nil {
+		t.Error("H = 1 should error")
+	}
+}
+
+func TestDerivedQuantities(t *testing.T) {
+	m := std(t)
+	if got := m.P.Gamma; math.Abs(got-1.2) > 1e-12 {
+		t.Fatalf("gamma = %v, want 1.2 (H = 0.9)", got)
+	}
+	if got := m.P.Hurst(); math.Abs(got-0.9) > 1e-12 {
+		t.Fatalf("Hurst = %v", got)
+	}
+	if got := m.Mean(); math.Abs(got-500) > 1e-9 {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := m.Variance(); math.Abs(got-5000) > 1e-9 {
+		t.Fatalf("variance = %v", got)
+	}
+	if got := m.P.Occupancy(); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("occupancy = %v, want 50", got)
+	}
+}
+
+func TestACFShape(t *testing.T) {
+	m := std(t)
+	if m.ACF(0) != 1 {
+		t.Fatal("ACF(0) must be 1")
+	}
+	if m.ACF(-4) != m.ACF(4) {
+		t.Fatal("ACF must be symmetric")
+	}
+	// With s0 = Ts, r(1) sits at the piecewise boundary:
+	// 1 − (γ−1)/γ = 1/γ.
+	if got, want := m.ACF(1), 1/m.P.Gamma; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ACF(1) = %v, want %v", got, want)
+	}
+	// Power-law tail: r(2k)/r(k) → 2^{1−γ}.
+	want := math.Pow(2, 1-m.P.Gamma)
+	for _, k := range []int{10, 100, 1000} {
+		if ratio := m.ACF(2*k) / m.ACF(k); math.Abs(ratio-want) > 1e-9 {
+			t.Fatalf("tail ratio at k=%d: %v, want %v", k, ratio, want)
+		}
+	}
+	// Monotone decreasing and positive.
+	prev := 1.0
+	for k := 1; k < 5000; k *= 2 {
+		r := m.ACF(k)
+		if r <= 0 || r >= prev {
+			t.Fatalf("ACF not positive-decreasing at %d", k)
+		}
+		prev = r
+	}
+}
+
+func TestGeneratorMoments(t *testing.T) {
+	m := std(t)
+	var meanSum, varSum float64
+	const reps = 6
+	for seed := int64(1); seed <= reps; seed++ {
+		xs := traffic.Generate(m.NewGenerator(seed), 60000)
+		meanSum += stats.Mean(xs)
+		varSum += stats.Variance(xs)
+	}
+	if got := meanSum / reps; math.Abs(got-500)/500 > 0.06 {
+		t.Fatalf("replication mean %v, want ≈500", got)
+	}
+	if got := varSum / reps; got < 3000 || got > 7000 {
+		t.Fatalf("replication variance %v, want ≈5000 (LRD band)", got)
+	}
+}
+
+func TestGeneratorShortACF(t *testing.T) {
+	m := std(t)
+	xs := traffic.Generate(m.NewGenerator(11), 200000)
+	acf := stats.ACF(xs, 5)
+	for k := 1; k <= 5; k++ {
+		if math.Abs(acf[k]-m.ACF(k)) > 0.1 {
+			t.Fatalf("ACF(%d) = %v, analytic %v", k, acf[k], m.ACF(k))
+		}
+	}
+}
+
+func TestGeneratorLRD(t *testing.T) {
+	m := std(t)
+	xs := traffic.Generate(m.NewGenerator(5), 250000)
+	h, err := hurst.VarianceTime(xs, 20, len(xs)/30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 0.7 {
+		t.Fatalf("estimated H = %v; LRD signature missing", h)
+	}
+}
+
+func TestGeneratorValuesAreMultiplesOfRate(t *testing.T) {
+	m := std(t)
+	g := m.NewGenerator(2)
+	for i := 0; i < 5000; i++ {
+		x := g.NextFrame()
+		n := x / m.P.Rate
+		if x < 0 || math.Abs(n-math.Round(n)) > 1e-9 {
+			t.Fatalf("frame %v not a multiple of rate %v", x, m.P.Rate)
+		}
+	}
+}
+
+func TestGeneratorReproducible(t *testing.T) {
+	m := std(t)
+	a := traffic.Generate(m.NewGenerator(7), 200)
+	b := traffic.Generate(m.NewGenerator(7), 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed paths diverged")
+		}
+	}
+}
+
+func TestModelName(t *testing.T) {
+	m := std(t)
+	if m.Name() == "" {
+		t.Fatal("empty name")
+	}
+	m.SetName("cox")
+	if m.Name() != "cox" {
+		t.Fatal("SetName failed")
+	}
+}
+
+func BenchmarkGeneratorFrame(b *testing.B) {
+	m, err := NewFromMoments(500, 5000, 0.9, 0.04, 0.04)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := m.NewGenerator(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.NextFrame()
+	}
+}

@@ -1,0 +1,165 @@
+package mmpp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+func fitStd(t testing.TB, a float64) *Model {
+	t.Helper()
+	m, err := Fit(500, 5000, a, 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Params{
+		{R1: -1, R2: 0, Theta: 1, Ts: 1},
+		{R1: 0, R2: 0, Theta: 1, Ts: 1},
+		{R1: 1, R2: 2, Theta: 1, Ts: 1}, // R1 < R2
+		{R1: 2, R2: 1, Theta: 0, Ts: 1},
+		{R1: 2, R2: 1, Theta: 1, Ts: 0},
+	}
+	for i, p := range bad {
+		if _, err := New(p); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestFitHitsTargets(t *testing.T) {
+	for _, a := range []float64{0.5, 0.9, 0.99} {
+		m := fitStd(t, a)
+		if got := m.Mean(); math.Abs(got-500) > 1e-9 {
+			t.Fatalf("a=%v: mean %v", a, got)
+		}
+		if got := m.Variance(); math.Abs(got-5000)/5000 > 1e-9 {
+			t.Fatalf("a=%v: variance %v", a, got)
+		}
+		if got := m.ACF(2) / m.ACF(1); math.Abs(got-a) > 1e-9 {
+			t.Fatalf("a=%v: decay ratio %v", a, got)
+		}
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(500, 400, 0.9, 0.04); err == nil {
+		t.Error("under-dispersion should error")
+	}
+	if _, err := Fit(500, 5000, 0, 0.04); err == nil {
+		t.Error("a=0 should error")
+	}
+	if _, err := Fit(500, 5000, 1, 0.04); err == nil {
+		t.Error("a=1 should error")
+	}
+	// Huge variance at weak correlation drives the low rate negative.
+	if _, err := Fit(10, 1e9, 0.01, 0.04); err == nil {
+		t.Error("infeasible target should error")
+	}
+}
+
+func TestACFGeometricBeyondLag1(t *testing.T) {
+	m := fitStd(t, 0.9)
+	for k := 1; k <= 30; k++ {
+		want := m.ACF(1) * math.Pow(0.9, float64(k-1))
+		if got := m.ACF(k); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("ACF(%d) = %v, want %v", k, got, want)
+		}
+	}
+	if m.ACF(0) != 1 || m.ACF(-2) != m.ACF(2) {
+		t.Fatal("basic ACF properties violated")
+	}
+}
+
+func TestLag1BelowDecayRatio(t *testing.T) {
+	// The Poisson noise floor makes r(1) < a (unlike DAR(1) where r(1)=a):
+	// lag-0 includes the Poisson variance that lags share none of.
+	m := fitStd(t, 0.9)
+	if m.ACF(1) >= 0.9 {
+		t.Fatalf("r(1) = %v should sit below the decay ratio", m.ACF(1))
+	}
+	if m.ACF(1) <= 0 {
+		t.Fatal("r(1) must be positive")
+	}
+}
+
+func TestGeneratorMoments(t *testing.T) {
+	m := fitStd(t, 0.9)
+	var meanSum, varSum float64
+	const reps = 4
+	for seed := int64(1); seed <= reps; seed++ {
+		xs := traffic.Generate(m.NewGenerator(seed), 100000)
+		meanSum += stats.Mean(xs)
+		varSum += stats.Variance(xs)
+	}
+	if got := meanSum / reps; math.Abs(got-500)/500 > 0.03 {
+		t.Fatalf("mean %v, want ≈500", got)
+	}
+	if got := varSum / reps; math.Abs(got-5000)/5000 > 0.1 {
+		t.Fatalf("variance %v, want ≈5000", got)
+	}
+}
+
+func TestGeneratorACF(t *testing.T) {
+	m := fitStd(t, 0.9)
+	xs := traffic.Generate(m.NewGenerator(11), 300000)
+	acf := stats.ACF(xs, 5)
+	for k := 1; k <= 5; k++ {
+		if math.Abs(acf[k]-m.ACF(k)) > 0.03 {
+			t.Fatalf("ACF(%d) = %v, analytic %v", k, acf[k], m.ACF(k))
+		}
+	}
+}
+
+func TestGeneratorSRD(t *testing.T) {
+	// Long-lag correlations must vanish — this is the Markov control.
+	m := fitStd(t, 0.9)
+	xs := traffic.Generate(m.NewGenerator(5), 300000)
+	acf := stats.ACF(xs, 200)
+	var tail float64
+	for k := 100; k <= 200; k++ {
+		tail += acf[k]
+	}
+	if avg := tail / 101; math.Abs(avg) > 0.02 {
+		t.Fatalf("long-lag mean ACF %v; should be ≈0 for SRD", avg)
+	}
+}
+
+func TestGeneratorReproducible(t *testing.T) {
+	m := fitStd(t, 0.5)
+	a := traffic.Generate(m.NewGenerator(3), 200)
+	b := traffic.Generate(m.NewGenerator(3), 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed paths diverged")
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	m := fitStd(t, 0.9)
+	if m.Name() != "MMPP2(a=0.9)" {
+		t.Fatalf("name %q", m.Name())
+	}
+	m.SetName("x")
+	if m.Name() != "x" {
+		t.Fatal("SetName failed")
+	}
+}
+
+func BenchmarkGeneratorFrame(b *testing.B) {
+	m, err := Fit(500, 5000, 0.9, 0.04)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := m.NewGenerator(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.NextFrame()
+	}
+}

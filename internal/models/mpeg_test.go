@@ -1,0 +1,144 @@
+package models
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+func newMPEG(t testing.TB) (*MPEG, *Composite) {
+	t.Helper()
+	z, err := NewZ(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := GOPWeights(TypicalGOP, 5, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMPEG(z, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, z
+}
+
+func TestGOPWeights(t *testing.T) {
+	w, err := GOPWeights("IBBP", 5, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 1, 1, 3}
+	for i := range want {
+		if w[i] != want[i] {
+			t.Fatalf("weights %v, want %v", w, want)
+		}
+	}
+	if _, err := GOPWeights("", 5, 3, 1); err == nil {
+		t.Error("empty pattern should error")
+	}
+	if _, err := GOPWeights("IXB", 5, 3, 1); err == nil {
+		t.Error("bad frame type should error")
+	}
+}
+
+func TestNewMPEGValidation(t *testing.T) {
+	z, _ := NewZ(0.9)
+	if _, err := NewMPEG(nil, []float64{1, 2}); err == nil {
+		t.Error("nil base should error")
+	}
+	if _, err := NewMPEG(z, []float64{1}); err == nil {
+		t.Error("period 1 should error")
+	}
+	if _, err := NewMPEG(z, []float64{1, 0}); err == nil {
+		t.Error("zero weight should error")
+	}
+}
+
+func TestMPEGMeanPreserved(t *testing.T) {
+	m, z := newMPEG(t)
+	if math.Abs(m.Mean()-z.Mean()) > 1e-9 {
+		t.Fatalf("mean %v, want %v", m.Mean(), z.Mean())
+	}
+	// Normalised weights average to 1.
+	var s float64
+	for _, w := range m.Weights() {
+		s += w
+	}
+	if math.Abs(s/float64(m.Period())-1) > 1e-12 {
+		t.Fatal("weights not normalised")
+	}
+}
+
+func TestMPEGVarianceExceedsBase(t *testing.T) {
+	// Modulation adds the deterministic I/P/B size variation on top of the
+	// base variance.
+	m, z := newMPEG(t)
+	if m.Variance() <= z.Variance() {
+		t.Fatalf("variance %v should exceed base %v", m.Variance(), z.Variance())
+	}
+}
+
+func TestMPEGACFPeriodicRipple(t *testing.T) {
+	// At exact GOP multiples the weight correlation W(k) peaks, so the ACF
+	// must ripple upward relative to adjacent lags.
+	m, _ := newMPEG(t)
+	p := m.Period()
+	for _, mult := range []int{1, 2, 4} {
+		k := mult * p
+		if !(m.ACF(k) > m.ACF(k-1) && m.ACF(k) > m.ACF(k+1)) {
+			t.Fatalf("no GOP ripple at lag %d: %v %v %v",
+				k, m.ACF(k-1), m.ACF(k), m.ACF(k+1))
+		}
+	}
+	if m.ACF(0) != 1 || m.ACF(-3) != m.ACF(3) {
+		t.Fatal("ACF basic properties violated")
+	}
+}
+
+func TestMPEGGeneratorMatchesAnalytic(t *testing.T) {
+	m, _ := newMPEG(t)
+	var meanSum, varSum float64
+	const reps = 4
+	acfSum := make([]float64, m.Period()+2)
+	for seed := int64(1); seed <= reps; seed++ {
+		xs := traffic.Generate(m.NewGenerator(seed), 100000)
+		meanSum += stats.Mean(xs)
+		varSum += stats.Variance(xs)
+		acf := stats.ACF(xs, m.Period()+1)
+		for k := range acfSum {
+			acfSum[k] += acf[k]
+		}
+	}
+	if got := meanSum / reps; math.Abs(got-m.Mean())/m.Mean() > 0.05 {
+		t.Fatalf("mean %v, want %v", got, m.Mean())
+	}
+	if got := varSum / reps; math.Abs(got-m.Variance())/m.Variance() > 0.2 {
+		t.Fatalf("variance %v, want %v", got, m.Variance())
+	}
+	// The empirical ACF shows the analytic GOP ripple.
+	k := m.Period()
+	if got, want := acfSum[k]/reps, m.ACF(k); math.Abs(got-want) > 0.05 {
+		t.Fatalf("ACF(%d) = %v, analytic %v", k, got, want)
+	}
+}
+
+func TestMPEGGeneratorReproducible(t *testing.T) {
+	m, _ := newMPEG(t)
+	a := traffic.Generate(m.NewGenerator(3), 100)
+	b := traffic.Generate(m.NewGenerator(3), 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed paths diverged")
+		}
+	}
+}
+
+func TestMPEGName(t *testing.T) {
+	m, _ := newMPEG(t)
+	if m.Name() != "MPEG[Z^0.9]" {
+		t.Fatalf("name %q", m.Name())
+	}
+}

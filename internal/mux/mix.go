@@ -1,0 +1,79 @@
+package mux
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/traffic"
+)
+
+// MixConfig describes a heterogeneous finite-buffer simulation: several
+// traffic classes sharing one link (total capacity and total buffer given
+// directly in cells).
+type MixConfig struct {
+	Mix    core.Mix
+	TotalC float64 // link capacity, cells/frame
+	TotalB float64 // buffer, cells
+	Frames int
+	Warmup int
+	Seed   int64
+}
+
+// Validate checks the configuration.
+func (c MixConfig) Validate() error {
+	if err := c.Mix.Validate(); err != nil {
+		return err
+	}
+	if c.TotalC <= 0 {
+		return fmt.Errorf("mux: capacity %v must be positive", c.TotalC)
+	}
+	if c.TotalB < 0 {
+		return fmt.Errorf("mux: buffer %v must be non-negative", c.TotalB)
+	}
+	if c.Frames < 1 || c.Warmup < 0 {
+		return fmt.Errorf("mux: invalid horizon frames=%d warmup=%d", c.Frames, c.Warmup)
+	}
+	return nil
+}
+
+// RunMix executes one heterogeneous replication with the same fluid
+// Lindley dynamics as Run.
+func RunMix(cfg MixConfig) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	var gens []traffic.Generator
+	for _, comp := range cfg.Mix {
+		for i := 0; i < comp.Count; i++ {
+			gens = append(gens, comp.Model.NewGenerator(r.Int63()))
+		}
+	}
+	var w float64
+	for i := 0; i < cfg.Warmup; i++ {
+		w = clip(w+aggregate(gens)-cfg.TotalC, cfg.TotalB)
+	}
+	res := Result{Frames: cfg.Frames, InitialW: w}
+	var sumW float64
+	for i := 0; i < cfg.Frames; i++ {
+		a := aggregate(gens)
+		res.ArrivedCells += a
+		net := w + a - cfg.TotalC
+		if loss := net - cfg.TotalB; loss > 0 {
+			res.LostCells += loss
+			res.LossFrames++
+		}
+		w = clip(net, cfg.TotalB)
+		sumW += w
+		if w > res.MaxWorkload {
+			res.MaxWorkload = w
+		}
+	}
+	res.FinalW = w
+	res.MeanWorkload = sumW / float64(cfg.Frames)
+	if res.ArrivedCells > 0 {
+		res.CLR = res.LostCells / res.ArrivedCells
+	}
+	return res, nil
+}

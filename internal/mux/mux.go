@@ -1,0 +1,300 @@
+// Package mux simulates the paper's ATM multiplexer (§5.5): N homogeneous
+// VBR video sources, frame-synchronised, with cells equispaced over each
+// frame duration (deterministic smoothing) feeding a FIFO buffer drained at
+// constant rate.
+//
+// Because arrivals and service are both fluid and uniform within a frame,
+// the cell-level queue is captured exactly by a frame-level Lindley
+// recursion with clipping:
+//
+//	loss_n = (W_n + A_n − C − B)^+
+//	W_{n+1} = min((W_n + A_n − C)^+, B)
+//
+// where A_n is the aggregate frame volume (cells), C = N·c the service
+// volume per frame, and B = N·b the total buffer. The finite-buffer run
+// measures the cell loss rate CLR = Σ loss / Σ A; the infinite-buffer run
+// measures the buffer overflow probability P(W > x) that the paper's
+// large-deviations asymptotics estimate.
+package mux
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+// Config describes one finite-buffer simulation replication.
+type Config struct {
+	Model  traffic.Model
+	N      int     // number of multiplexed sources
+	C      float64 // bandwidth per source c, cells/frame
+	B      float64 // buffer per source b, cells (total buffer N·b)
+	Frames int     // simulated frames after warm-up
+	Warmup int     // frames discarded before measurement
+	Seed   int64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Model == nil {
+		return fmt.Errorf("mux: nil model")
+	}
+	if c.N < 1 {
+		return fmt.Errorf("mux: N = %d must be ≥ 1", c.N)
+	}
+	if c.C <= 0 {
+		return fmt.Errorf("mux: bandwidth c = %v must be positive", c.C)
+	}
+	if c.B < 0 {
+		return fmt.Errorf("mux: buffer b = %v must be non-negative", c.B)
+	}
+	if c.Frames < 1 {
+		return fmt.Errorf("mux: frames = %d must be ≥ 1", c.Frames)
+	}
+	if c.Warmup < 0 {
+		return fmt.Errorf("mux: warmup = %d must be non-negative", c.Warmup)
+	}
+	return nil
+}
+
+// Result summarises one finite-buffer replication.
+type Result struct {
+	Frames       int
+	ArrivedCells float64
+	LostCells    float64
+	CLR          float64 // LostCells / ArrivedCells
+	LossFrames   int     // frames during which any loss occurred
+	MeanWorkload float64 // time-average workload, cells
+	MaxWorkload  float64 // peak workload, cells
+	FinalW       float64 // workload at measurement end (conservation checks)
+	InitialW     float64 // workload at measurement start
+}
+
+// Run executes one finite-buffer replication. Source i uses a child seed
+// derived from cfg.Seed, so replications are reproducible and sources
+// mutually independent.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	gens := sourceGenerators(cfg.Model, cfg.N, cfg.Seed)
+	totalC := float64(cfg.N) * cfg.C
+	totalB := float64(cfg.N) * cfg.B
+
+	var w float64
+	for i := 0; i < cfg.Warmup; i++ {
+		a := aggregate(gens)
+		w = clip(w+a-totalC, totalB)
+	}
+	res := Result{Frames: cfg.Frames, InitialW: w}
+	var sumW float64
+	for i := 0; i < cfg.Frames; i++ {
+		a := aggregate(gens)
+		res.ArrivedCells += a
+		net := w + a - totalC
+		if loss := net - totalB; loss > 0 {
+			res.LostCells += loss
+			res.LossFrames++
+		}
+		w = clip(net, totalB)
+		sumW += w
+		if w > res.MaxWorkload {
+			res.MaxWorkload = w
+		}
+	}
+	res.FinalW = w
+	res.MeanWorkload = sumW / float64(cfg.Frames)
+	if res.ArrivedCells > 0 {
+		res.CLR = res.LostCells / res.ArrivedCells
+	}
+	return res, nil
+}
+
+// clip applies the finite-buffer boundary: max(0, min(x, b)).
+func clip(x, b float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > b {
+		return b
+	}
+	return x
+}
+
+// ChildSeeds derives n per-source seeds from a master seed. The derivation
+// is shared with package cellsim so fluid and cell-level simulations of
+// the same configuration see statistically identical arrival processes.
+func ChildSeeds(seed int64, n int) []int64 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = r.Int63()
+	}
+	return out
+}
+
+// sourceGenerators builds N independent generators with seeds derived from
+// a master seed.
+func sourceGenerators(m traffic.Model, n int, seed int64) []traffic.Generator {
+	seeds := ChildSeeds(seed, n)
+	gens := make([]traffic.Generator, n)
+	for i := range gens {
+		gens[i] = m.NewGenerator(seeds[i])
+	}
+	return gens
+}
+
+// aggregate sums one frame from every source.
+func aggregate(gens []traffic.Generator) float64 {
+	var a float64
+	for _, g := range gens {
+		a += g.NextFrame()
+	}
+	return a
+}
+
+// RunReplications executes reps independent replications (the paper runs
+// 60), deriving per-replication seeds from cfg.Seed.
+func RunReplications(cfg Config, reps int) ([]Result, error) {
+	if reps < 1 {
+		return nil, fmt.Errorf("mux: reps = %d must be ≥ 1", reps)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]Result, reps)
+	for i := range out {
+		c := cfg
+		c.Seed = r.Int63()
+		res, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// CLREstimate pools replication results into a ratio estimate of the cell
+// loss rate with a replication confidence interval.
+func CLREstimate(results []Result, level float64) stats.CI {
+	clrs := make([]float64, len(results))
+	for i, r := range results {
+		clrs[i] = r.CLR
+	}
+	return stats.ReplicationCI(clrs, level)
+}
+
+// BOPConfig describes an infinite-buffer overflow probability measurement.
+type BOPConfig struct {
+	Model      traffic.Model
+	N          int
+	C          float64 // bandwidth per source, cells/frame
+	Frames     int     // measured frames
+	Warmup     int     // discarded frames
+	Seed       int64
+	Thresholds []float64 // workload levels x (total cells) for P(W > x)
+}
+
+// Validate checks the configuration.
+func (c BOPConfig) Validate() error {
+	if c.Model == nil {
+		return fmt.Errorf("mux: nil model")
+	}
+	if c.N < 1 || c.C <= 0 || c.Frames < 1 || c.Warmup < 0 {
+		return fmt.Errorf("mux: invalid BOP config N=%d c=%v frames=%d warmup=%d",
+			c.N, c.C, c.Frames, c.Warmup)
+	}
+	if len(c.Thresholds) == 0 {
+		return fmt.Errorf("mux: no thresholds")
+	}
+	for _, x := range c.Thresholds {
+		if x < 0 {
+			return fmt.Errorf("mux: negative threshold %v", x)
+		}
+	}
+	return nil
+}
+
+// BOPResult reports tail probabilities of the stationary workload.
+type BOPResult struct {
+	Thresholds []float64
+	Prob       []float64 // P(W > threshold), fraction of measured frames
+	MaxW       float64
+}
+
+// RunBOP simulates the infinite-buffer workload recursion and estimates
+// P(W > x) at each threshold as the fraction of frame boundaries whose
+// workload exceeds x.
+func RunBOP(cfg BOPConfig) (BOPResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return BOPResult{}, err
+	}
+	thr := append([]float64(nil), cfg.Thresholds...)
+	sort.Float64s(thr)
+	gens := sourceGenerators(cfg.Model, cfg.N, cfg.Seed)
+	totalC := float64(cfg.N) * cfg.C
+
+	var w float64
+	for i := 0; i < cfg.Warmup; i++ {
+		w = math.Max(w+aggregate(gens)-totalC, 0)
+	}
+	counts := make([]int, len(thr))
+	res := BOPResult{Thresholds: thr}
+	for i := 0; i < cfg.Frames; i++ {
+		w = math.Max(w+aggregate(gens)-totalC, 0)
+		if w > res.MaxW {
+			res.MaxW = w
+		}
+		// Thresholds are sorted; count every one below w.
+		for j := len(thr) - 1; j >= 0; j-- {
+			if w > thr[j] {
+				for k := 0; k <= j; k++ {
+					counts[k]++
+				}
+				break
+			}
+		}
+	}
+	res.Prob = make([]float64, len(thr))
+	for i, c := range counts {
+		res.Prob[i] = float64(c) / float64(cfg.Frames)
+	}
+	return res, nil
+}
+
+// SampleWorkload runs the infinite-buffer workload recursion and returns
+// every `every`-th frame-boundary workload (total cells), for studying the
+// shape of the stationary queue distribution — e.g. distinguishing the
+// Weibull body of LRD input from the exponential body of Markov input on
+// a log-survival plot.
+func SampleWorkload(cfg BOPConfig, every int) ([]float64, error) {
+	if every < 1 {
+		return nil, fmt.Errorf("mux: sampling stride %d must be ≥ 1", every)
+	}
+	// Thresholds are irrelevant here but Validate demands one.
+	c := cfg
+	c.Thresholds = []float64{0}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	gens := sourceGenerators(cfg.Model, cfg.N, cfg.Seed)
+	totalC := float64(cfg.N) * cfg.C
+	var w float64
+	for i := 0; i < cfg.Warmup; i++ {
+		w = math.Max(w+aggregate(gens)-totalC, 0)
+	}
+	out := make([]float64, 0, cfg.Frames/every+1)
+	for i := 0; i < cfg.Frames; i++ {
+		w = math.Max(w+aggregate(gens)-totalC, 0)
+		if i%every == 0 {
+			out = append(out, w)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,99 @@
+package mux
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RunSweep measures the finite-buffer CLR at several buffer sizes in a
+// single pass: the same aggregate arrival sample path drives one Lindley
+// recursion per buffer size. This is both much cheaper than independent
+// runs (arrival generation dominates) and statistically sharper, since the
+// buffer curves are positively coupled exactly as in the paper's plots.
+//
+// cfg.B is ignored; buffersCells lists per-source buffer allocations b
+// (total buffer N·b each). Results are returned in ascending buffer order.
+func RunSweep(cfg Config, buffersCells []float64) ([]Result, error) {
+	cfg.B = 0
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(buffersCells) == 0 {
+		return nil, fmt.Errorf("mux: empty buffer sweep")
+	}
+	bs := append([]float64(nil), buffersCells...)
+	sort.Float64s(bs)
+	for _, b := range bs {
+		if b < 0 {
+			return nil, fmt.Errorf("mux: negative buffer %v in sweep", b)
+		}
+	}
+
+	gens := sourceGenerators(cfg.Model, cfg.N, cfg.Seed)
+	totalC := float64(cfg.N) * cfg.C
+	totalB := make([]float64, len(bs))
+	for i, b := range bs {
+		totalB[i] = float64(cfg.N) * b
+	}
+
+	w := make([]float64, len(bs))
+	for i := 0; i < cfg.Warmup; i++ {
+		a := aggregate(gens)
+		for j := range w {
+			w[j] = clip(w[j]+a-totalC, totalB[j])
+		}
+	}
+	results := make([]Result, len(bs))
+	for j := range results {
+		results[j] = Result{Frames: cfg.Frames, InitialW: w[j]}
+	}
+	sumW := make([]float64, len(bs))
+	for i := 0; i < cfg.Frames; i++ {
+		a := aggregate(gens)
+		for j := range w {
+			res := &results[j]
+			res.ArrivedCells += a
+			net := w[j] + a - totalC
+			if loss := net - totalB[j]; loss > 0 {
+				res.LostCells += loss
+				res.LossFrames++
+			}
+			w[j] = clip(net, totalB[j])
+			sumW[j] += w[j]
+			if w[j] > res.MaxWorkload {
+				res.MaxWorkload = w[j]
+			}
+		}
+	}
+	for j := range results {
+		res := &results[j]
+		res.FinalW = w[j]
+		res.MeanWorkload = sumW[j] / float64(cfg.Frames)
+		if res.ArrivedCells > 0 {
+			res.CLR = res.LostCells / res.ArrivedCells
+		}
+	}
+	return results, nil
+}
+
+// SweepReplications runs reps independent RunSweep passes and returns
+// results indexed [buffer][replication].
+func SweepReplications(cfg Config, buffersCells []float64, reps int) ([][]Result, error) {
+	if reps < 1 {
+		return nil, fmt.Errorf("mux: reps = %d must be ≥ 1", reps)
+	}
+	out := make([][]Result, len(buffersCells))
+	seedStream := cfg.Seed
+	for rep := 0; rep < reps; rep++ {
+		c := cfg
+		c.Seed = seedStream + int64(rep)*1_000_003
+		res, err := RunSweep(c, buffersCells)
+		if err != nil {
+			return nil, err
+		}
+		for j := range res {
+			out[j] = append(out[j], res[j])
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,186 @@
+package mux
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/models"
+)
+
+func TestRunSweepMatchesIndividualRuns(t *testing.T) {
+	// A sweep must reproduce exactly what independent Run calls produce for
+	// the same seed, since the arrival stream is a pure function of seed.
+	z, err := models.NewZ(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Model: z, N: 5, C: 515, Frames: 8000, Seed: 21}
+	buffers := []float64{0, 10, 50}
+	sweep, err := RunSweep(cfg, buffers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buffers {
+		single := cfg
+		single.B = b
+		res, err := Run(single)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res != sweep[i] {
+			t.Fatalf("buffer %v: sweep %+v != single %+v", b, sweep[i], res)
+		}
+	}
+}
+
+func TestRunSweepSortsBuffers(t *testing.T) {
+	z, err := models.NewZ(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Model: z, N: 3, C: 520, Frames: 2000, Seed: 5}
+	res, err := RunSweep(cfg, []float64{50, 0, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ascending buffers ⇒ non-increasing loss.
+	for i := 1; i < len(res); i++ {
+		if res[i].LostCells > res[i-1].LostCells {
+			t.Fatalf("loss not monotone across sweep: %v then %v",
+				res[i-1].LostCells, res[i].LostCells)
+		}
+	}
+}
+
+func TestRunSweepValidation(t *testing.T) {
+	z, _ := models.NewZ(0.9)
+	cfg := Config{Model: z, N: 3, C: 520, Frames: 100, Seed: 5}
+	if _, err := RunSweep(cfg, nil); err == nil {
+		t.Error("empty sweep should error")
+	}
+	if _, err := RunSweep(cfg, []float64{-1}); err == nil {
+		t.Error("negative buffer should error")
+	}
+	bad := cfg
+	bad.N = 0
+	if _, err := RunSweep(bad, []float64{1}); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+func TestSweepReplicationsShape(t *testing.T) {
+	z, err := models.NewZ(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Model: z, N: 3, C: 515, Frames: 3000, Seed: 9}
+	buffers := []float64{0, 20}
+	out, err := SweepReplications(cfg, buffers, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || len(out[0]) != 3 {
+		t.Fatalf("shape [%d][%d], want [2][3]", len(out), len(out[0]))
+	}
+	// Replications must differ.
+	if out[0][0].CLR == out[0][1].CLR && out[0][1].CLR == out[0][2].CLR && out[0][0].CLR != 0 {
+		t.Fatal("replications identical")
+	}
+	if _, err := SweepReplications(cfg, buffers, 0); err == nil {
+		t.Error("reps = 0 should error")
+	}
+}
+
+func TestSweepCLRConsistent(t *testing.T) {
+	z, err := models.NewZ(0.975)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Model: z, N: 10, C: 510, Frames: 10000, Seed: 4}
+	res, err := RunSweep(cfg, []float64{0, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.ArrivedCells <= 0 {
+			t.Fatal("no arrivals recorded")
+		}
+		if math.Abs(r.CLR-r.LostCells/r.ArrivedCells) > 1e-15 {
+			t.Fatal("CLR inconsistent with counts")
+		}
+	}
+}
+
+func TestRunMixHomogeneousMatchesRun(t *testing.T) {
+	// A homogeneous mix must reproduce Run exactly for the same seed.
+	z, err := models.NewZ(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Model: z, N: 8, C: 515, B: 30, Frames: 6000, Seed: 13}
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := RunMix(MixConfig{
+		Mix:    core.Mix{{Model: z, Count: 8}},
+		TotalC: 515 * 8, TotalB: 30 * 8,
+		Frames: 6000, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != mixed {
+		t.Fatalf("mix %+v != plain %+v", mixed, plain)
+	}
+}
+
+func TestRunMixHeterogeneous(t *testing.T) {
+	z, err := models.NewZ(0.975)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := models.FitS(z, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunMix(MixConfig{
+		Mix:    core.Mix{{Model: z, Count: 5}, {Model: d, Count: 5}},
+		TotalC: 515 * 10, TotalB: 100,
+		Frames: 20000, Warmup: 500, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ArrivedCells <= 0 {
+		t.Fatal("no arrivals")
+	}
+	if res.MaxWorkload > 100+1e-9 {
+		t.Fatal("workload exceeded buffer")
+	}
+	if res.CLR < 0 || res.CLR > 1 {
+		t.Fatalf("CLR %v out of range", res.CLR)
+	}
+}
+
+func TestRunMixValidation(t *testing.T) {
+	z, _ := models.NewZ(0.9)
+	good := MixConfig{
+		Mix: core.Mix{{Model: z, Count: 1}}, TotalC: 600, TotalB: 10, Frames: 10,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []MixConfig{
+		{Mix: core.Mix{}, TotalC: 600, TotalB: 10, Frames: 10},
+		{Mix: core.Mix{{Model: z, Count: 1}}, TotalC: 0, TotalB: 10, Frames: 10},
+		{Mix: core.Mix{{Model: z, Count: 1}}, TotalC: 600, TotalB: -1, Frames: 10},
+		{Mix: core.Mix{{Model: z, Count: 1}}, TotalC: 600, TotalB: 10, Frames: 0},
+	}
+	for i, c := range bad {
+		if _, err := RunMix(c); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

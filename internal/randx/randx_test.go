@@ -1,0 +1,143 @@
+package randx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func sampleMoments(n int, draw func() float64) (mean, variance float64) {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = draw()
+	}
+	return stats.Mean(xs), stats.Variance(xs)
+}
+
+func TestPoissonMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, mean := range []float64{0.5, 3, 12, 29.9, 30.1, 80, 250, 1000} {
+		m, v := sampleMoments(200000, func() float64 { return float64(Poisson(rng, mean)) })
+		if math.Abs(m-mean)/mean > 0.02 {
+			t.Fatalf("mean(λ=%v) = %v", mean, m)
+		}
+		if math.Abs(v-mean)/mean > 0.05 {
+			t.Fatalf("var(λ=%v) = %v", mean, v)
+		}
+	}
+	if Poisson(rng, 0) != 0 || Poisson(rng, -2) != 0 {
+		t.Fatal("non-positive mean should yield 0")
+	}
+}
+
+func TestPoissonNonNegativeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func(raw float64) bool {
+		return Poisson(rng, math.Abs(math.Mod(raw, 5000))) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cases := []struct{ shape, scale float64 }{
+		{0.5, 2}, {1, 1}, {2.5, 3}, {9, 0.5}, {50, 10},
+	}
+	for _, c := range cases {
+		wantMean := c.shape * c.scale
+		wantVar := c.shape * c.scale * c.scale
+		m, v := sampleMoments(300000, func() float64 { return Gamma(rng, c.shape, c.scale) })
+		if math.Abs(m-wantMean)/wantMean > 0.02 {
+			t.Fatalf("Gamma(%v,%v): mean %v, want %v", c.shape, c.scale, m, wantMean)
+		}
+		if math.Abs(v-wantVar)/wantVar > 0.05 {
+			t.Fatalf("Gamma(%v,%v): var %v, want %v", c.shape, c.scale, v, wantVar)
+		}
+	}
+}
+
+func TestGammaEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if Gamma(rng, 0, 1) != 0 || Gamma(rng, 1, 0) != 0 || Gamma(rng, -1, 1) != 0 {
+		t.Fatal("invalid parameters should yield 0")
+	}
+	for i := 0; i < 100000; i++ {
+		if g := Gamma(rng, 0.3, 1); g < 0 || math.IsNaN(g) || math.IsInf(g, 0) {
+			t.Fatalf("bad small-shape sample %v", g)
+		}
+	}
+}
+
+func TestGammaExponentialSpecialCase(t *testing.T) {
+	// Gamma(1, θ) is Exponential(θ): check the median e^{-x/θ} = 1/2.
+	rng := rand.New(rand.NewSource(6))
+	n, below := 200000, 0
+	median := math.Ln2 * 3.0
+	for i := 0; i < n; i++ {
+		if Gamma(rng, 1, 3) <= median {
+			below++
+		}
+	}
+	if frac := float64(below) / float64(n); math.Abs(frac-0.5) > 0.005 {
+		t.Fatalf("P(X ≤ median) = %v, want 0.5", frac)
+	}
+}
+
+func TestNegativeBinomialMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cases := []struct{ mean, variance float64 }{
+		{10, 30}, {500, 5000}, {3, 4.5},
+	}
+	for _, c := range cases {
+		m, v := sampleMoments(300000, func() float64 {
+			return float64(NegativeBinomial(rng, c.mean, c.variance))
+		})
+		if math.Abs(m-c.mean)/c.mean > 0.02 {
+			t.Fatalf("NB(%v,%v): mean %v", c.mean, c.variance, m)
+		}
+		if math.Abs(v-c.variance)/c.variance > 0.06 {
+			t.Fatalf("NB(%v,%v): var %v", c.mean, c.variance, v)
+		}
+	}
+}
+
+func TestNegativeBinomialInvalid(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if NegativeBinomial(rng, 0, 10) != 0 {
+		t.Fatal("mean 0 should yield 0")
+	}
+	if NegativeBinomial(rng, 10, 5) != 0 {
+		t.Fatal("under-dispersion should yield 0")
+	}
+}
+
+func TestNegativeBinomialNonNegativeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	f := func(a, b float64) bool {
+		mean := 1 + math.Abs(math.Mod(a, 100))
+		variance := mean * (1.1 + math.Abs(math.Mod(b, 10)))
+		return NegativeBinomial(rng, mean, variance) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPoisson250(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		_ = Poisson(rng, 250)
+	}
+}
+
+func BenchmarkGamma(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		_ = Gamma(rng, 50, 10)
+	}
+}

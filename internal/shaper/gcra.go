@@ -1,0 +1,170 @@
+// Package shaper implements ATM usage parameter control: the Generic Cell
+// Rate Algorithm (GCRA) of ITU-T I.371 / ATM Forum UNI 3.1 in its virtual
+// scheduling form, plus a cell-level leaky-bucket shaper that delays
+// rather than drops. The paper's multiplexers assume sources emit cells
+// equispaced over each frame (deterministic smoothing); this package
+// provides the policing/shaping machinery that enforces such contracts at
+// a UNI, letting experiments ask how much conformance enforcement changes
+// the loss picture.
+//
+// GCRA(I, L): a cell arriving at time t conforms iff t ≥ TAT − L, where
+// TAT is the theoretical arrival time; on conformance TAT ← max(TAT, t) + I.
+// I is the increment (reciprocal of the policed rate) and L the limit
+// (jitter tolerance), both in seconds.
+package shaper
+
+import (
+	"fmt"
+	"math"
+)
+
+// GCRA is a virtual-scheduling cell rate policer. The zero value is not
+// valid; use NewGCRA.
+type GCRA struct {
+	increment float64 // I: seconds per conforming cell
+	limit     float64 // L: tolerance in seconds
+	tat       float64 // theoretical arrival time
+	started   bool
+
+	Conforming    int64
+	NonConforming int64
+}
+
+// NewGCRA builds a policer for the given cell rate (cells/sec) and
+// tolerance τ (seconds). For peak-rate policing τ is the CDV tolerance;
+// for sustainable-rate policing τ is the burst tolerance
+// (MBS−1)·(1/SCR − 1/PCR).
+func NewGCRA(rate, tolerance float64) (*GCRA, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("shaper: rate %v must be positive", rate)
+	}
+	if tolerance < 0 {
+		return nil, fmt.Errorf("shaper: tolerance %v must be non-negative", tolerance)
+	}
+	return &GCRA{increment: 1 / rate, limit: tolerance}, nil
+}
+
+// Conforms applies the virtual scheduling algorithm to a cell arriving at
+// time t (seconds, non-decreasing across calls). It returns whether the
+// cell conforms and updates the conformance counters. Non-conforming
+// cells do not advance the TAT (they are assumed dropped or tagged).
+func (g *GCRA) Conforms(t float64) bool {
+	if !g.started {
+		g.started = true
+		g.tat = t + g.increment
+		g.Conforming++
+		return true
+	}
+	// The epsilon absorbs floating-point drift in the accumulated TAT so a
+	// stream exactly at the contract rate is never spuriously rejected.
+	if t < g.tat-g.limit-g.increment*1e-9 {
+		g.NonConforming++
+		return false
+	}
+	g.tat = math.Max(g.tat, t) + g.increment
+	g.Conforming++
+	return true
+}
+
+// BurstCapacity returns the maximum number of back-to-back cells (at
+// infinite line rate) that conform: 1 + ⌊L/I⌋.
+func (g *GCRA) BurstCapacity() int {
+	return 1 + int(g.limit/g.increment)
+}
+
+// Reset clears the policer state and counters.
+func (g *GCRA) Reset() {
+	g.tat = 0
+	g.started = false
+	g.Conforming = 0
+	g.NonConforming = 0
+}
+
+// LeakyBucket is a shaping (delaying) variant: instead of marking cells
+// non-conforming it computes the earliest conforming departure time, so a
+// source can be smoothed to contract before entering the network.
+type LeakyBucket struct {
+	increment float64
+	limit     float64
+	tat       float64
+	started   bool
+
+	// MaxDelay tracks the largest shaping delay imposed (seconds).
+	MaxDelay float64
+	// TotalDelay accumulates all shaping delay (seconds).
+	TotalDelay float64
+	// Cells counts cells shaped.
+	Cells int64
+}
+
+// NewLeakyBucket builds a shaper for the given cell rate and tolerance.
+func NewLeakyBucket(rate, tolerance float64) (*LeakyBucket, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("shaper: rate %v must be positive", rate)
+	}
+	if tolerance < 0 {
+		return nil, fmt.Errorf("shaper: tolerance %v must be non-negative", tolerance)
+	}
+	return &LeakyBucket{increment: 1 / rate, limit: tolerance}, nil
+}
+
+// Depart returns the departure time of a cell arriving at t: t itself when
+// the cell conforms, otherwise the earliest conforming instant TAT − L.
+// Arrival times must be non-decreasing.
+func (b *LeakyBucket) Depart(t float64) float64 {
+	b.Cells++
+	if !b.started {
+		b.started = true
+		b.tat = t + b.increment
+		return t
+	}
+	out := t
+	if t < b.tat-b.limit {
+		out = b.tat - b.limit
+		d := out - t
+		b.TotalDelay += d
+		if d > b.MaxDelay {
+			b.MaxDelay = d
+		}
+	}
+	b.tat = math.Max(b.tat, out) + b.increment
+	return out
+}
+
+// MeanDelay returns the average shaping delay per cell.
+func (b *LeakyBucket) MeanDelay() float64 {
+	if b.Cells == 0 {
+		return 0
+	}
+	return b.TotalDelay / float64(b.Cells)
+}
+
+// PoliceFrames runs per-frame conformance of a video source against a
+// sustainable cell rate contract: frame n's cells are offered equispaced
+// over [nTs, (n+1)Ts) and policed by GCRA(1/scr, bt). It returns the
+// fraction of cells tagged non-conforming — the contract violation rate a
+// UPC function would see for this source.
+func PoliceFrames(frames []float64, ts, scr, bt float64) (float64, error) {
+	g, err := NewGCRA(scr, bt)
+	if err != nil {
+		return 0, err
+	}
+	var offered, dropped int64
+	for n, f := range frames {
+		cells := int(f)
+		if cells <= 0 {
+			continue
+		}
+		for k := 0; k < cells; k++ {
+			t := (float64(n) + float64(k)/float64(cells)) * ts
+			offered++
+			if !g.Conforms(t) {
+				dropped++
+			}
+		}
+	}
+	if offered == 0 {
+		return 0, nil
+	}
+	return float64(dropped) / float64(offered), nil
+}

@@ -1,0 +1,214 @@
+package shaper
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/models"
+	"repro/internal/traffic"
+)
+
+func TestNewGCRAValidation(t *testing.T) {
+	if _, err := NewGCRA(0, 1); err == nil {
+		t.Error("zero rate should error")
+	}
+	if _, err := NewGCRA(100, -1); err == nil {
+		t.Error("negative tolerance should error")
+	}
+}
+
+func TestGCRAConformingStream(t *testing.T) {
+	// Cells exactly at the contract rate always conform.
+	g, err := NewGCRA(100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if !g.Conforms(float64(i) * 0.01) {
+			t.Fatalf("cell %d at contract rate rejected", i)
+		}
+	}
+	if g.Conforming != 1000 || g.NonConforming != 0 {
+		t.Fatalf("counters %d/%d", g.Conforming, g.NonConforming)
+	}
+}
+
+func TestGCRARejectsSustainedOverrate(t *testing.T) {
+	// Cells at twice the rate with zero tolerance: every other cell is
+	// non-conforming.
+	g, err := NewGCRA(100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		g.Conforms(float64(i) * 0.005)
+	}
+	frac := float64(g.NonConforming) / 1000
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("non-conforming fraction %v, want ≈0.5", frac)
+	}
+}
+
+func TestGCRAToleranceAdmitsBursts(t *testing.T) {
+	// With tolerance L, a back-to-back burst of 1+⌊L/I⌋ conforms.
+	g, err := NewGCRA(100, 0.05) // I = 10 ms, L = 50 ms → burst of 6
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.BurstCapacity() != 6 {
+		t.Fatalf("burst capacity %d, want 6", g.BurstCapacity())
+	}
+	accepted := 0
+	for i := 0; i < 10; i++ {
+		if g.Conforms(0) { // all at t = 0
+			accepted++
+		}
+	}
+	if accepted != 6 {
+		t.Fatalf("burst accepted %d cells, want 6", accepted)
+	}
+}
+
+func TestGCRAReset(t *testing.T) {
+	g, _ := NewGCRA(10, 0)
+	g.Conforms(0)
+	g.Conforms(0)
+	g.Reset()
+	if g.Conforming != 0 || g.NonConforming != 0 {
+		t.Fatal("counters survive reset")
+	}
+	if !g.Conforms(0) {
+		t.Fatal("first cell after reset must conform")
+	}
+}
+
+// Property: the long-run conforming rate never exceeds the contract rate
+// (plus the one-burst allowance), whatever the arrival pattern.
+func TestGCRARateBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g, err := NewGCRA(50, 0.1)
+		if err != nil {
+			return false
+		}
+		// Adversarial-ish arrivals: clustered bursts.
+		t0 := 0.0
+		r := seed
+		for i := 0; i < 2000; i++ {
+			r = r*6364136223846793005 + 1442695040888963407
+			gap := float64(uint64(r)%100) / 5000 // 0..20 ms
+			t0 += gap
+			g.Conforms(t0)
+		}
+		if t0 == 0 {
+			return true
+		}
+		maxConforming := 50*t0 + float64(g.BurstCapacity()) + 1
+		return float64(g.Conforming) <= maxConforming
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeakyBucketNoDelayWhenConforming(t *testing.T) {
+	b, err := NewLeakyBucket(100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		at := float64(i) * 0.01
+		// Equality up to float accumulation in the TAT.
+		if out := b.Depart(at); math.Abs(out-at) > 1e-9 {
+			t.Fatalf("conforming cell delayed: %v → %v", at, out)
+		}
+	}
+	if b.MaxDelay > 1e-9 || b.MeanDelay() > 1e-9 {
+		t.Fatal("unexpected delay stats")
+	}
+}
+
+func TestLeakyBucketSmoothsBurst(t *testing.T) {
+	// A burst of 5 cells at t = 0 into a 100 cells/s shaper departs at
+	// 0, 10, 20, 30, 40 ms.
+	b, err := NewLeakyBucket(100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		want := float64(i) * 0.01
+		if got := b.Depart(0); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("cell %d departs %v, want %v", i, got, want)
+		}
+	}
+	if math.Abs(b.MaxDelay-0.04) > 1e-12 {
+		t.Fatalf("max delay %v, want 0.04", b.MaxDelay)
+	}
+	if b.MeanDelay() <= 0 {
+		t.Fatal("mean delay should be positive")
+	}
+}
+
+func TestLeakyBucketOutputConforms(t *testing.T) {
+	// Shaper output must pass a policer with the same contract.
+	b, err := NewLeakyBucket(200, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGCRA(200, 0.0201) // tiny slack for float rounding
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := 0.0
+	for i := 0; i < 5000; i++ {
+		t0 += float64(i%7) / 2000
+		out := b.Depart(t0)
+		if !g.Conforms(out) {
+			t.Fatalf("shaped cell %d at %v fails policing", i, out)
+		}
+	}
+}
+
+func TestNewLeakyBucketValidation(t *testing.T) {
+	if _, err := NewLeakyBucket(0, 1); err == nil {
+		t.Error("zero rate should error")
+	}
+	if _, err := NewLeakyBucket(10, -1); err == nil {
+		t.Error("negative tolerance should error")
+	}
+}
+
+func TestPoliceFramesVideoSource(t *testing.T) {
+	// Police a Z^0.9 source at its mean rate with one frame of burst
+	// tolerance: a meaningful fraction of cells violates; at 1.5× mean
+	// with the same tolerance almost none do.
+	z, err := models.NewZ(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := traffic.Generate(z.NewGenerator(3), 20000)
+	tight, err := PoliceFrames(frames, models.Ts, z.Mean()/models.Ts, models.Ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := PoliceFrames(frames, models.Ts, 1.5*z.Mean()/models.Ts, models.Ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight < 0.01 {
+		t.Fatalf("policing at the mean should tag cells, got %v", tight)
+	}
+	if loose > tight/5 {
+		t.Fatalf("1.5× contract should be far cleaner: %v vs %v", loose, tight)
+	}
+}
+
+func TestPoliceFramesEdge(t *testing.T) {
+	if _, err := PoliceFrames(nil, 0.04, 0, 0); err == nil {
+		t.Error("zero rate should error")
+	}
+	frac, err := PoliceFrames([]float64{0, 0}, 0.04, 100, 0)
+	if err != nil || frac != 0 {
+		t.Fatalf("empty traffic: frac %v err %v", frac, err)
+	}
+}

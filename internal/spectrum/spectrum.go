@@ -1,0 +1,156 @@
+// Package spectrum provides the frequency-domain view of frame-size
+// processes that the paper's §6.2 connects to the critical time scale: the
+// power spectral density implied by a model's ACF, the periodogram of a
+// sample path, and the Li-Hwang style cutoff frequency ω_c — the frequency
+// below which input power no longer influences queue behaviour. The CTS
+// m*_b and the cutoff frequency describe the same truncation of traffic
+// detail, one in lag space and one in frequency space (Montgomery &
+// De Veciana [16]).
+package spectrum
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fft"
+	"repro/internal/traffic"
+)
+
+// PSD evaluates the power spectral density of model m at nfreq equally
+// spaced frequencies in (0, π], by discrete cosine summation of the
+// autocovariance truncated at maxLag with a Tukey (cosine-taper) window to
+// suppress truncation ringing:
+//
+//	S(ω) = σ²·[1 + 2·Σ_{k=1..K} w_k·r(k)·cos(ωk)]
+//
+// Frequencies are returned in radians per frame.
+func PSD(m traffic.Model, maxLag, nfreq int) (freqs, power []float64, err error) {
+	if maxLag < 1 || nfreq < 1 {
+		return nil, nil, fmt.Errorf("spectrum: need maxLag ≥ 1 and nfreq ≥ 1")
+	}
+	r := make([]float64, maxLag+1)
+	for k := 0; k <= maxLag; k++ {
+		r[k] = m.ACF(k)
+	}
+	variance := m.Variance()
+	freqs = make([]float64, nfreq)
+	power = make([]float64, nfreq)
+	for i := 0; i < nfreq; i++ {
+		w := math.Pi * float64(i+1) / float64(nfreq)
+		sum := 1.0
+		for k := 1; k <= maxLag; k++ {
+			// Cosine taper keeps the estimate non-negative in practice.
+			taper := 0.5 * (1 + math.Cos(math.Pi*float64(k)/float64(maxLag+1)))
+			sum += 2 * taper * r[k] * math.Cos(w*float64(k))
+		}
+		freqs[i] = w
+		if sum < 0 {
+			sum = 0
+		}
+		power[i] = variance * sum
+	}
+	return freqs, power, nil
+}
+
+// Periodogram computes the raw periodogram of a sample path:
+// I(ω_j) = |Σ x_n e^{−iω_j n}|²/n at the Fourier frequencies
+// ω_j = 2πj/n, j = 1..n/2. The series is zero-padded to a power of two.
+func Periodogram(xs []float64) (freqs, power []float64, err error) {
+	if len(xs) < 4 {
+		return nil, nil, fmt.Errorf("spectrum: series too short (%d)", len(xs))
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	n := fft.NextPow2(len(xs))
+	buf := make([]complex128, n)
+	for i, x := range xs {
+		buf[i] = complex(x-mean, 0)
+	}
+	if err := fft.Forward(buf); err != nil {
+		return nil, nil, err
+	}
+	half := n / 2
+	freqs = make([]float64, half)
+	power = make([]float64, half)
+	scale := 1 / float64(len(xs))
+	for j := 1; j <= half; j++ {
+		re, im := real(buf[j]), imag(buf[j])
+		freqs[j-1] = 2 * math.Pi * float64(j) / float64(n)
+		power[j-1] = (re*re + im*im) * scale
+	}
+	return freqs, power, nil
+}
+
+// CutoffFrequency returns the Li-Hwang style cutoff ω_c: the smallest
+// frequency above which the fraction `fraction` of the total (one-sided)
+// spectral power lies. Equivalently, power below ω_c — the slow,
+// long-memory part of the input — accounts for only (1−fraction) of the
+// variance that matters. For LRD models a large share of power sits at
+// very low frequencies; a buffer with CTS m* responds to frequencies down
+// to roughly π/m*, so ω_c shrinks as buffers grow just as m* grows.
+func CutoffFrequency(m traffic.Model, maxLag int, fraction float64) (float64, error) {
+	if fraction <= 0 || fraction >= 1 {
+		return 0, fmt.Errorf("spectrum: fraction %v outside (0, 1)", fraction)
+	}
+	const nfreq = 2048
+	freqs, power, err := PSD(m, maxLag, nfreq)
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	for _, p := range power {
+		total += p
+	}
+	if total <= 0 {
+		return 0, fmt.Errorf("spectrum: degenerate spectrum")
+	}
+	// Scan from the high-frequency end until `fraction` of power is above.
+	var above float64
+	for i := nfreq - 1; i >= 0; i-- {
+		above += power[i]
+		if above >= fraction*total {
+			return freqs[i], nil
+		}
+	}
+	return freqs[0], nil
+}
+
+// HurstFromPeriodogram estimates H from the low-frequency periodogram
+// slope: for LRD, I(ω) ~ ω^{1−2H} as ω → 0, so a log-log regression over
+// the lowest `lowFrac` fraction of Fourier frequencies gives
+// H = (1−slope)/2 (the Geweke-Porter-Hudak style estimator).
+func HurstFromPeriodogram(xs []float64, lowFrac float64) (float64, error) {
+	if lowFrac <= 0 || lowFrac > 0.5 {
+		return 0, fmt.Errorf("spectrum: lowFrac %v outside (0, 0.5]", lowFrac)
+	}
+	freqs, power, err := Periodogram(xs)
+	if err != nil {
+		return 0, err
+	}
+	nUse := int(float64(len(freqs)) * lowFrac)
+	if nUse < 4 {
+		return 0, fmt.Errorf("spectrum: too few low frequencies (%d)", nUse)
+	}
+	var sx, sy, sxx, sxy float64
+	var used int
+	for i := 0; i < nUse; i++ {
+		if power[i] <= 0 {
+			continue
+		}
+		x, y := math.Log(freqs[i]), math.Log(power[i])
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		used++
+	}
+	if used < 4 {
+		return 0, fmt.Errorf("spectrum: too few usable periodogram points")
+	}
+	n := float64(used)
+	slope := (n*sxy - sx*sy) / (n*sxx - sx*sx)
+	return (1 - slope) / 2, nil
+}

@@ -1,0 +1,218 @@
+package spectrum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dar"
+	"repro/internal/fgn"
+	"repro/internal/models"
+	"repro/internal/traffic"
+)
+
+func dar1(t testing.TB, rho float64) traffic.Model {
+	t.Helper()
+	p, err := dar.NewDAR1(rho, dar.GaussianMarginal(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPSDWhiteNoiseFlat(t *testing.T) {
+	m := dar1(t, 0)
+	freqs, power, err := PSD(m, 100, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(freqs) != 64 || len(power) != 64 {
+		t.Fatal("wrong output shape")
+	}
+	for i, p := range power {
+		if math.Abs(p-1) > 1e-9 {
+			t.Fatalf("white PSD at ω=%v is %v, want 1", freqs[i], p)
+		}
+	}
+}
+
+func TestPSDAR1Shape(t *testing.T) {
+	// Positive correlation concentrates power at low frequencies: the AR
+	// spectrum σ²(1−ρ²)/(1−2ρcosω+ρ²) is monotone decreasing on (0, π).
+	m := dar1(t, 0.8)
+	_, power, err := PSD(m, 2000, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(power); i++ {
+		if power[i] > power[i-1]*1.001 {
+			t.Fatalf("AR(1) PSD not decreasing at index %d", i)
+		}
+	}
+	// Closed-form check at ω = π: S(π) = (1−ρ)/(1+ρ)·σ².
+	want := (1 - 0.8) / (1 + 0.8)
+	if got := power[len(power)-1]; math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("S(π) = %v, want %v", got, want)
+	}
+}
+
+func TestPSDValidation(t *testing.T) {
+	m := dar1(t, 0.5)
+	if _, _, err := PSD(m, 0, 10); err == nil {
+		t.Error("maxLag 0 should error")
+	}
+	if _, _, err := PSD(m, 10, 0); err == nil {
+		t.Error("nfreq 0 should error")
+	}
+}
+
+func TestPeriodogramParseval(t *testing.T) {
+	// Total periodogram power ≈ series variance (one-sided sum covers the
+	// spectrum since the input is real).
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 4096)
+	var sum, sum2 float64
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		sum += xs[i]
+		sum2 += xs[i] * xs[i]
+	}
+	mean := sum / float64(len(xs))
+	variance := sum2/float64(len(xs)) - mean*mean
+	_, power, err := Periodogram(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, p := range power {
+		total += p
+	}
+	total = total * 2 / float64(4096) // two-sided, normalised
+	if math.Abs(total-variance)/variance > 0.05 {
+		t.Fatalf("periodogram total %v vs variance %v", total, variance)
+	}
+}
+
+func TestPeriodogramSineTone(t *testing.T) {
+	// A pure tone at a Fourier frequency concentrates power in one bin.
+	n := 1024
+	j := 100
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Sin(2 * math.Pi * float64(j*i) / float64(n))
+	}
+	freqs, power, err := Periodogram(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0
+	for i := range power {
+		if power[i] > power[best] {
+			best = i
+		}
+	}
+	want := 2 * math.Pi * float64(j) / float64(n)
+	if math.Abs(freqs[best]-want) > 1e-9 {
+		t.Fatalf("peak at ω=%v, want %v", freqs[best], want)
+	}
+}
+
+func TestPeriodogramTooShort(t *testing.T) {
+	if _, _, err := Periodogram([]float64{1, 2}); err == nil {
+		t.Error("short series should error")
+	}
+}
+
+func TestCutoffFrequencyOrdering(t *testing.T) {
+	// Stronger correlation pushes power to lower frequencies, so the
+	// cutoff containing 99% of the power sits lower.
+	weak := dar1(t, 0.3)
+	strong := dar1(t, 0.95)
+	wc1, err := CutoffFrequency(weak, 3000, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc2, err := CutoffFrequency(strong, 3000, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wc2 >= wc1 {
+		t.Fatalf("cutoff for ρ=0.95 (%v) should be below ρ=0.3 (%v)", wc2, wc1)
+	}
+}
+
+func TestCutoffFrequencyLRDBelowSRD(t *testing.T) {
+	z, err := models.NewZ(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := models.FitS(z, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcZ, err := CutoffFrequency(z, 5000, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcS, err := CutoffFrequency(s, 5000, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wcZ >= wcS {
+		t.Fatalf("LRD cutoff %v should sit below its Markov fit's %v", wcZ, wcS)
+	}
+}
+
+func TestCutoffValidation(t *testing.T) {
+	m := dar1(t, 0.5)
+	if _, err := CutoffFrequency(m, 100, 0); err == nil {
+		t.Error("fraction 0 should error")
+	}
+	if _, err := CutoffFrequency(m, 100, 1); err == nil {
+		t.Error("fraction 1 should error")
+	}
+}
+
+func TestHurstFromPeriodogramFGN(t *testing.T) {
+	m, err := fgn.NewModel(0.85, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.BlockLen = 1 << 16
+	xs := traffic.Generate(m.NewGenerator(4), 1<<16)
+	h, err := HurstFromPeriodogram(xs, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-0.85) > 0.12 {
+		t.Fatalf("estimated H = %v, want ≈0.85", h)
+	}
+}
+
+func TestHurstFromPeriodogramWhiteNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs := make([]float64, 1<<15)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	h, err := HurstFromPeriodogram(xs, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-0.5) > 0.1 {
+		t.Fatalf("white noise H = %v, want ≈0.5", h)
+	}
+}
+
+func TestHurstFromPeriodogramValidation(t *testing.T) {
+	xs := make([]float64, 100)
+	if _, err := HurstFromPeriodogram(xs, 0); err == nil {
+		t.Error("lowFrac 0 should error")
+	}
+	if _, err := HurstFromPeriodogram(xs, 0.9); err == nil {
+		t.Error("lowFrac > 0.5 should error")
+	}
+	if _, err := HurstFromPeriodogram(xs[:8], 0.1); err == nil {
+		t.Error("too few frequencies should error")
+	}
+}

@@ -1,0 +1,265 @@
+// Package stats provides the descriptive statistics and Gaussian
+// distribution functions used throughout the reproduction: moment
+// estimators, autocorrelation estimation, replication confidence
+// intervals, and the standard normal CDF/quantile/loss functions that the
+// large-deviations formulas and simulation cross-checks rely on.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs. It returns 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (normalised by n, matching
+// the paper's use of σ² as a process parameter). It returns 0 for fewer than
+// two samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// SampleVariance returns the unbiased (n-1) sample variance of xs.
+func SampleVariance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	return Variance(xs) * float64(n) / float64(n-1)
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Autocovariance returns the lag-k sample autocovariance of xs using the
+// biased (1/n) estimator, which is the standard choice for ACF estimation
+// because it guarantees a positive semi-definite autocovariance sequence.
+func Autocovariance(xs []float64, k int) float64 {
+	n := len(xs)
+	if k < 0 {
+		k = -k
+	}
+	if k >= n {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for i := 0; i+k < n; i++ {
+		s += (xs[i] - m) * (xs[i+k] - m)
+	}
+	return s / float64(n)
+}
+
+// ACF returns the sample autocorrelation function of xs at lags 0..maxLag.
+// The lag-0 value is always 1 (or 0 for a constant series).
+func ACF(xs []float64, maxLag int) []float64 {
+	if maxLag < 0 {
+		maxLag = 0
+	}
+	out := make([]float64, maxLag+1)
+	c0 := Autocovariance(xs, 0)
+	if c0 == 0 {
+		return out
+	}
+	out[0] = 1
+	for k := 1; k <= maxLag; k++ {
+		out[k] = Autocovariance(xs, k) / c0
+	}
+	return out
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. xs is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Summary holds the usual five-number-style description of a sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	Variance float64 // population variance
+	Min      float64
+	Max      float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	s.Mean = Mean(xs)
+	s.Variance = Variance(xs)
+	s.Min, s.Max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g var=%.4g min=%.4g max=%.4g",
+		s.N, s.Mean, s.Variance, s.Min, s.Max)
+}
+
+// CI is a symmetric confidence interval around a point estimate.
+type CI struct {
+	Point  float64
+	Half   float64 // half-width; the interval is [Point-Half, Point+Half]
+	Level  float64 // nominal coverage, e.g. 0.95
+	NumObs int
+}
+
+// Low returns the lower endpoint of the interval.
+func (c CI) Low() float64 { return c.Point - c.Half }
+
+// High returns the upper endpoint of the interval.
+func (c CI) High() float64 { return c.Point + c.Half }
+
+func (c CI) String() string {
+	return fmt.Sprintf("%.6g ± %.3g (%d obs, %.0f%%)", c.Point, c.Half, c.NumObs, c.Level*100)
+}
+
+// ReplicationCI forms a normal-approximation confidence interval from
+// independent replication estimates (the paper's 60-replication design).
+// level is the two-sided coverage, e.g. 0.95.
+func ReplicationCI(reps []float64, level float64) CI {
+	n := len(reps)
+	ci := CI{Point: Mean(reps), Level: level, NumObs: n}
+	if n < 2 {
+		return ci
+	}
+	se := math.Sqrt(SampleVariance(reps) / float64(n))
+	z := NormalQuantile(0.5 + level/2)
+	ci.Half = z * se
+	return ci
+}
+
+// BatchMeans splits xs into nbatch equal contiguous batches (discarding any
+// remainder at the tail) and returns the batch means. It is the classic
+// output-analysis device for dependent simulation output.
+func BatchMeans(xs []float64, nbatch int) []float64 {
+	if nbatch < 1 || len(xs) < nbatch {
+		return nil
+	}
+	size := len(xs) / nbatch
+	out := make([]float64, nbatch)
+	for b := 0; b < nbatch; b++ {
+		out[b] = Mean(xs[b*size : (b+1)*size])
+	}
+	return out
+}
+
+// NormalCDF returns P(Z ≤ x) for a standard normal Z.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormalTail returns P(Z > x) = 1 - NormalCDF(x), computed stably for
+// large x via erfc.
+func NormalTail(x float64) float64 {
+	return 0.5 * math.Erfc(x/math.Sqrt2)
+}
+
+// NormalPDF returns the standard normal density at x.
+func NormalPDF(x float64) float64 {
+	return math.Exp(-x*x/2) / math.Sqrt(2*math.Pi)
+}
+
+// NormalLoss returns E[(Z - t)^+] for a standard normal Z, the unit normal
+// loss function φ(t) − t·Q(t). It is the exact zero-buffer fluid loss per
+// unit standard deviation and is used to validate simulated CLR at B = 0.
+func NormalLoss(t float64) float64 {
+	return NormalPDF(t) - t*NormalTail(t)
+}
+
+// NormalQuantile returns the p-th quantile of the standard normal
+// distribution using the Acklam rational approximation refined by one
+// Halley step; absolute error is below 1e-9 across (0, 1).
+func NormalQuantile(p float64) float64 {
+	if math.IsNaN(p) || p <= 0 || p >= 1 {
+		switch {
+		case p == 0:
+			return math.Inf(-1)
+		case p == 1:
+			return math.Inf(1)
+		default:
+			return math.NaN()
+		}
+	}
+	// Coefficients for the Acklam approximation.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+
+	const plow = 0.02425
+	var x float64
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-plow:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley refinement step against the exact CDF.
+	e := NormalCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x
+}

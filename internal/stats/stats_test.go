@@ -1,0 +1,302 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("got %v, want 2.5", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("empty mean = %v, want 0", got)
+	}
+}
+
+func TestVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEq(got, 4, 1e-12) {
+		t.Fatalf("got %v, want 4", got)
+	}
+	if got := Variance([]float64{7}); got != 0 {
+		t.Fatalf("single-sample variance = %v, want 0", got)
+	}
+	n := float64(len(xs))
+	if got, want := SampleVariance(xs), 4*n/(n-1); !almostEq(got, want, 1e-12) {
+		t.Fatalf("sample variance = %v, want %v", got, want)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); !almostEq(got, 2, 1e-12) {
+		t.Fatalf("got %v, want 2", got)
+	}
+}
+
+func TestAutocovarianceLag0IsVariance(t *testing.T) {
+	xs := []float64{1, 3, 2, 5, 4, 6, 2, 8}
+	if got, want := Autocovariance(xs, 0), Variance(xs); !almostEq(got, want, 1e-12) {
+		t.Fatalf("lag-0 autocovariance %v != variance %v", got, want)
+	}
+}
+
+func TestAutocovarianceSymmetricLag(t *testing.T) {
+	xs := []float64{1, 3, 2, 5, 4, 6, 2, 8}
+	if got, want := Autocovariance(xs, -2), Autocovariance(xs, 2); got != want {
+		t.Fatalf("negative lag %v != positive lag %v", got, want)
+	}
+}
+
+func TestAutocovarianceOutOfRange(t *testing.T) {
+	if got := Autocovariance([]float64{1, 2}, 5); got != 0 {
+		t.Fatalf("got %v, want 0 for lag beyond series", got)
+	}
+}
+
+func TestACFConstantSeries(t *testing.T) {
+	acf := ACF([]float64{5, 5, 5, 5}, 2)
+	for k, v := range acf {
+		if v != 0 {
+			t.Fatalf("constant series ACF[%d] = %v, want 0", k, v)
+		}
+	}
+}
+
+func TestACFAlternatingSeries(t *testing.T) {
+	// +1, -1, +1, ... has ACF close to (-1)^k.
+	xs := make([]float64, 1000)
+	for i := range xs {
+		if i%2 == 0 {
+			xs[i] = 1
+		} else {
+			xs[i] = -1
+		}
+	}
+	acf := ACF(xs, 3)
+	if acf[0] != 1 {
+		t.Fatalf("ACF[0] = %v, want 1", acf[0])
+	}
+	if !almostEq(acf[1], -1, 0.01) || !almostEq(acf[2], 1, 0.01) {
+		t.Fatalf("ACF = %v, want approx [1 -1 1 -1]", acf)
+	}
+}
+
+func TestACFWhiteNoiseNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 100000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	acf := ACF(xs, 5)
+	for k := 1; k <= 5; k++ {
+		if math.Abs(acf[k]) > 0.02 {
+			t.Fatalf("white-noise ACF[%d] = %v, want ~0", k, acf[k])
+		}
+	}
+}
+
+// Property: ACF values always lie in [-1, 1] for the biased estimator.
+func TestACFBoundedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 10
+		}
+		for _, v := range ACF(xs, n/2) {
+			if v < -1-1e-9 || v > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("q0 = %v, want 1", got)
+	}
+	if got := Quantile(xs, 1); got != 4 {
+		t.Fatalf("q1 = %v, want 4", got)
+	}
+	if got := Quantile(xs, 0.5); !almostEq(got, 2.5, 1e-12) {
+		t.Fatalf("median = %v, want 2.5", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+	// Input must not be reordered.
+	if xs[0] != 4 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2})
+	if s.N != 3 || s.Min != 1 || s.Max != 3 || !almostEq(s.Mean, 2, 1e-12) {
+		t.Fatalf("bad summary %+v", s)
+	}
+	if Summarize(nil).N != 0 {
+		t.Fatal("empty summary should have N=0")
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestReplicationCI(t *testing.T) {
+	reps := []float64{10, 12, 11, 9, 13, 10, 11, 12}
+	ci := ReplicationCI(reps, 0.95)
+	if !almostEq(ci.Point, Mean(reps), 1e-12) {
+		t.Fatalf("point = %v, want mean", ci.Point)
+	}
+	if ci.Half <= 0 {
+		t.Fatal("half-width should be positive")
+	}
+	if ci.Low() >= ci.High() {
+		t.Fatal("degenerate interval")
+	}
+	if ci.String() == "" {
+		t.Fatal("empty String()")
+	}
+	// Single replication: no spread information.
+	if ReplicationCI([]float64{5}, 0.95).Half != 0 {
+		t.Fatal("single-rep CI should have zero half-width")
+	}
+}
+
+func TestReplicationCICoverage(t *testing.T) {
+	// Empirical coverage of the 95% CI for the mean of N(0,1) with 30 reps
+	// should be close to 0.95.
+	rng := rand.New(rand.NewSource(42))
+	trials, covered := 400, 0
+	for i := 0; i < trials; i++ {
+		reps := make([]float64, 30)
+		for j := range reps {
+			reps[j] = rng.NormFloat64()
+		}
+		ci := ReplicationCI(reps, 0.95)
+		if ci.Low() <= 0 && 0 <= ci.High() {
+			covered++
+		}
+	}
+	cov := float64(covered) / float64(trials)
+	if cov < 0.90 || cov > 0.99 {
+		t.Fatalf("empirical coverage %v, want ≈0.95", cov)
+	}
+}
+
+func TestBatchMeans(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7} // remainder 7 discarded with 3 batches
+	bm := BatchMeans(xs, 3)
+	want := []float64{1.5, 3.5, 5.5}
+	for i := range want {
+		if !almostEq(bm[i], want[i], 1e-12) {
+			t.Fatalf("batch %d = %v, want %v", i, bm[i], want[i])
+		}
+	}
+	if BatchMeans(xs, 0) != nil || BatchMeans(xs, 8) != nil {
+		t.Fatal("invalid batch configurations should return nil")
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145707},
+		{1.959963984540054, 0.975},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.x); !almostEq(got, c.want, 1e-12) {
+			t.Fatalf("CDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormalTailComplement(t *testing.T) {
+	for _, x := range []float64{-3, -1, 0, 0.5, 2, 5} {
+		if got, want := NormalTail(x), 1-NormalCDF(x); !almostEq(got, want, 1e-12) {
+			t.Fatalf("tail(%v) = %v, want %v", x, got, want)
+		}
+	}
+	// Stable far tail: naive 1-CDF would round to 0 long before x = 30.
+	if got := NormalTail(30); got <= 0 || got > 1e-190 {
+		t.Fatalf("far tail %v not in (0, 1e-190]", got)
+	}
+}
+
+func TestNormalPDFPeak(t *testing.T) {
+	if got := NormalPDF(0); !almostEq(got, 1/math.Sqrt(2*math.Pi), 1e-15) {
+		t.Fatalf("pdf(0) = %v", got)
+	}
+}
+
+func TestNormalLoss(t *testing.T) {
+	// E[(Z-0)^+] = 1/sqrt(2π).
+	if got := NormalLoss(0); !almostEq(got, 1/math.Sqrt(2*math.Pi), 1e-12) {
+		t.Fatalf("loss(0) = %v", got)
+	}
+	// Loss is decreasing and positive.
+	prev := math.Inf(1)
+	for x := -3.0; x <= 4; x += 0.5 {
+		l := NormalLoss(x)
+		if l <= 0 || l >= prev {
+			t.Fatalf("loss not positive-decreasing at %v: %v (prev %v)", x, l, prev)
+		}
+		prev = l
+	}
+	// For very negative t, E[(Z-t)^+] ≈ -t.
+	if got := NormalLoss(-8); !almostEq(got, 8, 1e-6) {
+		t.Fatalf("loss(-8) = %v, want ≈8", got)
+	}
+}
+
+func TestNormalQuantileInvertsCDF(t *testing.T) {
+	for _, p := range []float64{1e-9, 1e-6, 0.001, 0.01, 0.3, 0.5, 0.7, 0.975, 0.999999} {
+		x := NormalQuantile(p)
+		if got := NormalCDF(x); !almostEq(got, p, 1e-9) {
+			t.Fatalf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+	if NormalQuantile(0.5) != 0 {
+		t.Fatalf("median quantile = %v, want 0", NormalQuantile(0.5))
+	}
+}
+
+func TestNormalQuantileEdges(t *testing.T) {
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Fatal("quantile at 0/1 should be ∓Inf")
+	}
+	if !math.IsNaN(NormalQuantile(-0.1)) || !math.IsNaN(NormalQuantile(1.1)) || !math.IsNaN(NormalQuantile(math.NaN())) {
+		t.Fatal("out-of-range p should be NaN")
+	}
+}
+
+// Property: quantile is monotone in p.
+func TestNormalQuantileMonotoneProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		pa := math.Abs(math.Mod(a, 1))
+		pb := math.Abs(math.Mod(b, 1))
+		if pa == 0 || pb == 0 || pa == pb {
+			return true
+		}
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return NormalQuantile(pa) <= NormalQuantile(pb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+// Package traffic defines the interfaces shared by every VBR frame-size
+// process in this repository. A Model carries the analytic second-order
+// description (mean, variance, autocorrelation function) that the
+// large-deviations machinery consumes, and manufactures Generators that the
+// multiplexer simulation consumes.
+//
+// Frame sizes are measured in cells per frame throughout, matching the
+// paper's convention (frame duration Ts seconds, service in cells/frame).
+package traffic
+
+// Generator produces successive frame sizes (cells/frame) of one source.
+// Implementations are deterministic functions of their seed so simulation
+// experiments are reproducible.
+type Generator interface {
+	// NextFrame returns the size of the next frame in cells. Values may be
+	// fractional: the multiplexer treats frame volumes as fluid.
+	NextFrame() float64
+}
+
+// Model is an analytically characterised wide-sense-stationary frame-size
+// process.
+type Model interface {
+	// Name identifies the model in tables and plots, e.g. "Z^0.975".
+	Name() string
+	// Mean returns the mean frame size μ in cells/frame.
+	Mean() float64
+	// Variance returns the frame-size variance σ² in (cells/frame)².
+	Variance() float64
+	// ACF returns the autocorrelation r(k) at integer lag k ≥ 0, with
+	// ACF(0) = 1.
+	ACF(k int) float64
+	// NewGenerator returns a fresh sample-path generator for this model.
+	// Distinct seeds give statistically independent paths.
+	NewGenerator(seed int64) Generator
+}
+
+// Generate draws n successive frames from g.
+func Generate(g Generator, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = g.NextFrame()
+	}
+	return out
+}
+
+// ACFSlice evaluates m's ACF at lags 0..maxLag.
+func ACFSlice(m Model, maxLag int) []float64 {
+	out := make([]float64, maxLag+1)
+	for k := range out {
+		out[k] = m.ACF(k)
+	}
+	return out
+}
+
+// GeneratorFunc adapts a plain function to the Generator interface.
+type GeneratorFunc func() float64
+
+// NextFrame implements Generator.
+func (f GeneratorFunc) NextFrame() float64 { return f() }

@@ -1,0 +1,48 @@
+package traffic
+
+import "testing"
+
+type stubModel struct{}
+
+func (stubModel) Name() string      { return "stub" }
+func (stubModel) Mean() float64     { return 2 }
+func (stubModel) Variance() float64 { return 1 }
+func (stubModel) ACF(k int) float64 {
+	if k == 0 {
+		return 1
+	}
+	return 0.5
+}
+func (stubModel) NewGenerator(seed int64) Generator {
+	n := float64(seed)
+	return GeneratorFunc(func() float64 { n++; return n })
+}
+
+func TestGenerate(t *testing.T) {
+	g := stubModel{}.NewGenerator(10)
+	xs := Generate(g, 3)
+	want := []float64{11, 12, 13}
+	for i := range want {
+		if xs[i] != want[i] {
+			t.Fatalf("got %v, want %v", xs, want)
+		}
+	}
+	if len(Generate(g, 0)) != 0 {
+		t.Fatal("zero frames should yield empty slice")
+	}
+}
+
+func TestACFSlice(t *testing.T) {
+	acf := ACFSlice(stubModel{}, 3)
+	if len(acf) != 4 || acf[0] != 1 || acf[3] != 0.5 {
+		t.Fatalf("got %v", acf)
+	}
+}
+
+func TestGeneratorFunc(t *testing.T) {
+	calls := 0
+	g := GeneratorFunc(func() float64 { calls++; return 7 })
+	if g.NextFrame() != 7 || calls != 1 {
+		t.Fatal("GeneratorFunc did not delegate")
+	}
+}

@@ -1,0 +1,25 @@
+// Package repro reproduces Ryu & Elwalid, "The Importance of Long-Range
+// Dependence of VBR Video Traffic in ATM Traffic Engineering: Myths and
+// Realities" (ACM SIGCOMM 1996).
+//
+// The library lives under internal/:
+//
+//   - internal/core — Critical Time Scale and the Bahadur-Rao / Large-N /
+//     Weibull buffer overflow asymptotics (the paper's contribution).
+//   - internal/dar, internal/fbndp, internal/fgn — the stochastic source
+//     substrates (Jacobs-Lewis DAR(p), fractal-binomial-noise-driven
+//     Poisson, Davies-Harte fractional Gaussian noise).
+//   - internal/models — the paper's video models V^v, Z^a, S and L with
+//     the full Table 1 parameter derivation.
+//   - internal/mux — the finite/infinite-buffer ATM multiplexer simulator.
+//   - internal/experiments — one driver per table and figure.
+//   - internal/cac, internal/hurst, internal/stats, internal/solver,
+//     internal/fft, internal/traffic, internal/modelspec — supporting
+//     subsystems.
+//
+// Executables live under cmd/ (repro, ctscalc, bopcalc, atmsim, acfgen,
+// fitdar) and runnable examples under examples/. bench_test.go at this
+// root regenerates every table and figure as a Go benchmark. See README.md
+// for a tour, DESIGN.md for the system inventory and EXPERIMENTS.md for
+// the paper-versus-measured record.
+package repro

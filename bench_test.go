@@ -8,6 +8,9 @@
 package repro_test
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -16,6 +19,7 @@ import (
 	"repro/internal/fgn"
 	"repro/internal/models"
 	"repro/internal/mux"
+	"repro/internal/runner"
 	"repro/internal/traffic"
 )
 
@@ -240,6 +244,41 @@ func byteSize(n int) string {
 		return "16k"
 	default:
 		return "4k"
+	}
+}
+
+// Serial-vs-parallel replication throughput through the orchestration
+// engine. The workers=1 sub-benchmark is the legacy serial path; the
+// workers=NumCPU sub-benchmark records the speedup the runner buys on this
+// hardware (results are bit-identical between the two).
+func BenchmarkSweepReplicationsParallel(b *testing.B) {
+	z, err := models.NewZ(0.975)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buffers := []float64{0, 27, 134, 269}
+	cfg := mux.Config{Model: z, N: 30, C: 538, Frames: 1000}
+	// Enough replications to fill the pool even on wide machines; at
+	// least 4 workers on the parallel leg so single-core CI still
+	// exercises (and times) the concurrent path.
+	par := runtime.NumCPU()
+	if par < 4 {
+		par = 4
+	}
+	reps := 2 * par
+	for _, workers := range []int{1, par} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = int64(i)
+				_, err := mux.SweepReplicationsEngine(context.Background(),
+					runner.New(workers), cfg, buffers, reps)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(reps*cfg.Frames)*float64(b.N)/b.Elapsed().Seconds(),
+				"frames/sec")
+		})
 	}
 }
 

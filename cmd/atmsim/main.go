@@ -5,22 +5,28 @@
 // Usage:
 //
 //	atmsim [-models z:0.975] [-c 538] [-n 30] [-buffers 0,2,5,10,20]
-//	       [-frames 100000] [-reps 8] [-seed 1] [-bop]
+//	       [-frames 100000] [-reps 8] [-seed 1] [-workers 0] [-bop]
 //
 // With -bop the infinite-buffer overflow probability P(W > x) is measured
-// instead, at the workload levels implied by -buffers.
+// instead, at the workload levels implied by -buffers. CLR replications
+// fan out over -workers cores (default: all); the estimates are
+// bit-identical for every worker count.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/experiments"
 	"repro/internal/modelspec"
 	"repro/internal/mux"
+	"repro/internal/runner"
 )
 
 func main() {
@@ -32,9 +38,14 @@ func main() {
 		frames  = flag.Int("frames", 100000, "frames per replication (paper: 500000)")
 		reps    = flag.Int("reps", 8, "replications (paper: 60)")
 		seed    = flag.Int64("seed", 1, "master seed")
+		workers = flag.Int("workers", 0, "parallel replication workers (0 = all cores, 1 = serial)")
 		bop     = flag.Bool("bop", false, "measure infinite-buffer P(W > x) instead of finite-buffer CLR")
 	)
 	flag.Parse()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	eng := runner.New(*workers)
 
 	ms, err := modelspec.ParseList(*specs)
 	if err != nil {
@@ -74,7 +85,7 @@ func main() {
 			Model: m, N: *n, C: *c, Frames: *frames,
 			Warmup: *frames / 20, Seed: *seed,
 		}
-		byBuffer, err := mux.SweepReplications(cfg, cells, *reps)
+		byBuffer, err := mux.SweepReplicationsEngine(ctx, eng, cfg, cells, *reps)
 		if err != nil {
 			fatal(err)
 		}

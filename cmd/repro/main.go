@@ -7,33 +7,73 @@
 // Usage:
 //
 //	repro [-exp all|table1,fig1,...,fig10] [-reps N] [-frames N]
-//	      [-seed N] [-out DIR] [-csv]
+//	      [-seed N] [-out DIR] [-csv] [-workers N] [-checkpoint FILE]
+//
+// Simulation replications fan out over -workers cores (default: all);
+// results are bit-identical for every worker count. With -checkpoint,
+// completed replications are persisted so an interrupted run (Ctrl-C)
+// resumes where it stopped instead of restarting.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/runner"
 )
 
 func main() {
 	var (
-		exps   = flag.String("exp", "all", "comma-separated experiment ids (table1, fig1..fig10) or 'all' (figs + table1 + extmpeg,extsub,extmarg)")
-		reps   = flag.Int("reps", experiments.DefaultSim.Reps, "simulation replications (paper: 60)")
-		frames = flag.Int("frames", experiments.DefaultSim.Frames, "frames per replication (paper: 500000)")
-		seed   = flag.Int64("seed", experiments.DefaultSim.Seed, "master random seed")
-		outDir = flag.String("out", "", "directory for .txt/.csv outputs (default: stdout only)")
-		csv    = flag.Bool("csv", false, "also print CSV to stdout")
+		exps    = flag.String("exp", "all", "comma-separated experiment ids (table1, fig1..fig10) or 'all' (figs + table1 + extmpeg,extsub,extmarg)")
+		reps    = flag.Int("reps", experiments.DefaultSim.Reps, "simulation replications (paper: 60)")
+		frames  = flag.Int("frames", experiments.DefaultSim.Frames, "frames per replication (paper: 500000)")
+		seed    = flag.Int64("seed", experiments.DefaultSim.Seed, "master random seed")
+		outDir  = flag.String("out", "", "directory for .txt/.csv outputs (default: stdout only)")
+		csv     = flag.Bool("csv", false, "also print CSV to stdout")
+		workers = flag.Int("workers", 0, "parallel simulation workers (0 = all cores, 1 = serial)")
+		ckpt    = flag.String("checkpoint", "", "checkpoint file: persist finished replications and resume interrupted runs")
 	)
 	flag.Parse()
 
-	sim := experiments.SimConfig{Reps: *reps, Frames: *frames, Seed: *seed}
+	// Interrupts cancel in-flight replications cleanly so the checkpoint
+	// stays consistent and the run can be resumed.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	eng := runner.New(*workers)
+	if *ckpt != "" {
+		c, err := runner.OpenCheckpoint(*ckpt)
+		if err != nil {
+			fatal(err)
+		}
+		defer c.Close()
+		if n := c.Len(); n > 0 {
+			fmt.Fprintf(os.Stderr, "repro: resuming with %d checkpointed replications from %s\n", n, *ckpt)
+		}
+		eng.SetCheckpoint(c)
+	}
+	stopLog := eng.LogProgress(5*time.Second, os.Stderr)
+	defer stopLog()
+
+	sim := experiments.SimConfig{
+		Reps: *reps, Frames: *frames, Seed: *seed,
+		Engine: eng, Ctx: ctx,
+	}
 	if err := sim.Validate(); err != nil {
 		fatal(err)
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
 	}
 
 	want := map[string]bool{}
@@ -93,6 +133,9 @@ func main() {
 		if !selected(d.id) {
 			continue
 		}
+		if err := ctx.Err(); err != nil {
+			fatal(fmt.Errorf("interrupted (rerun with -checkpoint to resume): %w", context.Cause(ctx)))
+		}
 		fmt.Fprintf(os.Stderr, "running %s...\n", d.id)
 		results, err := d.run()
 		if err != nil {
@@ -110,6 +153,9 @@ func main() {
 				}
 			}
 		}
+	}
+	if st := eng.Stats(); st.RepsTotal > 0 {
+		fmt.Fprintln(os.Stderr, st.String())
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/models"
+	seedpkg "repro/internal/seed"
 	"repro/internal/traffic"
 )
 
@@ -73,8 +74,8 @@ func Fig2(frames int, seed int64) (*Result, error) {
 	}
 	for _, m := range []traffic.Model{z, s} {
 		gens := make([]traffic.Generator, 10)
-		for i := range gens {
-			gens[i] = m.NewGenerator(seed + int64(i)*7919)
+		for i, s := range seedpkg.Children(seed, len(gens)) {
+			gens[i] = m.NewGenerator(s)
 		}
 		sr := Series{Label: m.Name()}
 		for f := 0; f < frames; f++ {

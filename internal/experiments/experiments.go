@@ -11,11 +11,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 
 	"repro/internal/models"
+	"repro/internal/runner"
 )
 
 // Series is one labelled curve of an experiment.
@@ -134,11 +136,39 @@ func (r *Result) CSV() string {
 	return b.String()
 }
 
-// SimConfig scales the simulation experiments.
+// SimConfig scales the simulation experiments and selects how their
+// replications are orchestrated. Results are a pure function of
+// (Reps, Frames, Seed) — Workers/Engine/Ctx change only wall-clock
+// behaviour, never the numbers.
 type SimConfig struct {
 	Reps   int   // independent replications (paper: 60)
 	Frames int   // frames per replication (paper: 500000)
 	Seed   int64 // master seed
+
+	// Workers bounds the replication worker pool when no Engine is
+	// supplied: ≤ 0 means runtime.NumCPU(), 1 is the serial path.
+	Workers int
+	// Engine, when non-nil, runs every simulation job — sharing its
+	// worker pool, progress counters and checkpoint across figures.
+	Engine *runner.Engine
+	// Ctx, when non-nil, cancels in-flight replications (fail-fast).
+	Ctx context.Context
+}
+
+// engine returns the orchestration engine to run under.
+func (s SimConfig) engine() *runner.Engine {
+	if s.Engine != nil {
+		return s.Engine
+	}
+	return runner.New(s.Workers)
+}
+
+// context returns the cancellation context to run under.
+func (s SimConfig) context() context.Context {
+	if s.Ctx != nil {
+		return s.Ctx
+	}
+	return context.Background()
 }
 
 // DefaultSim keeps the whole simulation suite to tens of minutes on one

@@ -18,7 +18,9 @@ var SimBufferGridMsec = []float64{0, 1, 2, 4, 6, 8, 10, 14, 20}
 
 // clrSeries measures the simulated CLR of one model across the buffer grid
 // using a coupled sweep (one arrival stream per replication drives all
-// buffer sizes), averaging over cfg.Reps replications.
+// buffer sizes), averaging over cfg.Reps replications. Replications are
+// fanned out over cfg's orchestration engine; the estimates are
+// bit-identical for any worker count.
 func clrSeries(m traffic.Model, c float64, n int, grid []float64, cfg SimConfig) (Series, error) {
 	if err := cfg.Validate(); err != nil {
 		return Series{}, err
@@ -35,7 +37,7 @@ func clrSeries(m traffic.Model, c float64, n int, grid []float64, cfg SimConfig)
 		Warmup: cfg.Frames / 20,
 		Seed:   cfg.Seed,
 	}
-	byBuffer, err := mux.SweepReplications(run, buffers, cfg.Reps)
+	byBuffer, err := mux.SweepReplicationsEngine(cfg.context(), cfg.engine(), run, buffers, cfg.Reps)
 	if err != nil {
 		return Series{}, fmt.Errorf("sim %s: %w", m.Name(), err)
 	}

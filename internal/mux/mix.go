@@ -2,9 +2,9 @@ package mux
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/seed"
 	"repro/internal/traffic"
 )
 
@@ -43,11 +43,16 @@ func RunMix(cfg MixConfig) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
-	r := rand.New(rand.NewSource(cfg.Seed))
+	// Source k (counted across the whole mix) gets seed.Derive(Seed, k) —
+	// the same derivation as ChildSeeds, so a homogeneous mix reproduces
+	// Run exactly and each class sees the same seeds regardless of how
+	// the mix is partitioned into components.
 	var gens []traffic.Generator
+	var k uint64
 	for _, comp := range cfg.Mix {
 		for i := 0; i < comp.Count; i++ {
-			gens = append(gens, comp.Model.NewGenerator(r.Int63()))
+			gens = append(gens, comp.Model.NewGenerator(seed.Derive(cfg.Seed, k)))
+			k++
 		}
 	}
 	var w float64

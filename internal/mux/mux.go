@@ -20,9 +20,9 @@ package mux
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"sort"
 
+	"repro/internal/seed"
 	"repro/internal/stats"
 	"repro/internal/traffic"
 )
@@ -125,16 +125,14 @@ func clip(x, b float64) float64 {
 	return x
 }
 
-// ChildSeeds derives n per-source seeds from a master seed. The derivation
-// is shared with package cellsim so fluid and cell-level simulations of
-// the same configuration see statistically identical arrival processes.
-func ChildSeeds(seed int64, n int) []int64 {
-	r := rand.New(rand.NewSource(seed))
-	out := make([]int64, n)
-	for i := range out {
-		out[i] = r.Int63()
-	}
-	return out
+// ChildSeeds derives n per-source seeds from a master seed via the
+// splitmix64 hash of (master, source index). The derivation is shared with
+// package cellsim so fluid and cell-level simulations of the same
+// configuration see statistically identical arrival processes, and it is
+// index-addressed rather than stream-drawn so any subset of sources can be
+// re-derived independently.
+func ChildSeeds(masterSeed int64, n int) []int64 {
+	return seed.Children(masterSeed, n)
 }
 
 // sourceGenerators builds N independent generators with seeds derived from
@@ -158,7 +156,9 @@ func aggregate(gens []traffic.Generator) float64 {
 }
 
 // RunReplications executes reps independent replications (the paper runs
-// 60), deriving per-replication seeds from cfg.Seed.
+// 60), deriving the seed of replication i as the splitmix64 hash of
+// (cfg.Seed, "mux/reps", i) so any replication can be reproduced in
+// isolation.
 func RunReplications(cfg Config, reps int) ([]Result, error) {
 	if reps < 1 {
 		return nil, fmt.Errorf("mux: reps = %d must be ≥ 1", reps)
@@ -166,11 +166,10 @@ func RunReplications(cfg Config, reps int) ([]Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	r := rand.New(rand.NewSource(cfg.Seed))
 	out := make([]Result, reps)
 	for i := range out {
 		c := cfg
-		c.Seed = r.Int63()
+		c.Seed = seed.DeriveString(cfg.Seed, "mux/reps", uint64(i))
 		res, err := Run(c)
 		if err != nil {
 			return nil, err

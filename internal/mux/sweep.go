@@ -1,8 +1,11 @@
 package mux
 
 import (
+	"context"
 	"fmt"
 	"sort"
+
+	"repro/internal/runner"
 )
 
 // RunSweep measures the finite-buffer CLR at several buffer sizes in a
@@ -77,22 +80,59 @@ func RunSweep(cfg Config, buffersCells []float64) ([]Result, error) {
 }
 
 // SweepReplications runs reps independent RunSweep passes and returns
-// results indexed [buffer][replication].
+// results indexed [buffer][replication]. It is the serial path:
+// equivalent to SweepReplicationsEngine on a 1-worker engine, and
+// bit-identical to any parallel worker count since per-replication seeds
+// are pure functions of (cfg.Seed, replication index).
 func SweepReplications(cfg Config, buffersCells []float64, reps int) ([][]Result, error) {
+	return SweepReplicationsEngine(context.Background(), runner.New(1), cfg, buffersCells, reps)
+}
+
+// sweepSpec describes the replication batch for the orchestration engine.
+// The fingerprint covers every parameter that affects results so that
+// checkpoint entries from a different configuration are never replayed.
+func sweepSpec(cfg Config, buffersCells []float64, reps int) runner.Spec {
+	return runner.Spec{
+		ID:         "mux/sweep/" + cfg.Model.Name(),
+		Reps:       reps,
+		MasterSeed: cfg.Seed,
+		Fingerprint: fmt.Sprintf("mux/sweep|model=%s|N=%d|c=%g|frames=%d|warmup=%d|buffers=%v",
+			cfg.Model.Name(), cfg.N, cfg.C, cfg.Frames, cfg.Warmup, buffersCells),
+	}
+}
+
+// SweepReplicationsEngine runs reps independent RunSweep passes on the
+// engine's worker pool and returns results indexed [buffer][replication]
+// (buffers in ascending order, as RunSweep reports them). Replication i
+// always runs with the splitmix64-derived seed of (cfg.Seed, job, i), so
+// the output is bit-identical for every worker count; the engine provides
+// cancellation, progress counters and checkpoint/resume.
+func SweepReplicationsEngine(ctx context.Context, eng *runner.Engine, cfg Config, buffersCells []float64, reps int) ([][]Result, error) {
 	if reps < 1 {
 		return nil, fmt.Errorf("mux: reps = %d must be ≥ 1", reps)
 	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	byRep, err := runner.Run(ctx, eng, sweepSpec(cfg, buffersCells, reps),
+		func(ctx context.Context, r runner.Rep) ([]Result, error) {
+			c := cfg
+			c.Seed = r.Seed
+			res, err := RunSweep(c, buffersCells)
+			if err != nil {
+				return nil, err
+			}
+			r.AddUnits(int64(c.Frames))
+			return res, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	out := make([][]Result, len(buffersCells))
-	seedStream := cfg.Seed
-	for rep := 0; rep < reps; rep++ {
-		c := cfg
-		c.Seed = seedStream + int64(rep)*1_000_003
-		res, err := RunSweep(c, buffersCells)
-		if err != nil {
-			return nil, err
-		}
-		for j := range res {
-			out[j] = append(out[j], res[j])
+	for j := range out {
+		out[j] = make([]Result, reps)
+		for rep, res := range byRep {
+			out[j][rep] = res[j]
 		}
 	}
 	return out, nil

@@ -1,11 +1,14 @@
 package mux
 
 import (
+	"context"
 	"math"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/models"
+	"repro/internal/runner"
 )
 
 func TestRunSweepMatchesIndividualRuns(t *testing.T) {
@@ -89,6 +92,61 @@ func TestSweepReplicationsShape(t *testing.T) {
 	}
 	if _, err := SweepReplications(cfg, buffers, 0); err == nil {
 		t.Error("reps = 0 should error")
+	}
+}
+
+// TestSweepReplicationsEngineDeterministic is the acceptance check for the
+// orchestration engine: the CLR estimates from a serial run (-workers=1)
+// and a fully parallel run (-workers=NumCPU) must be bit-identical for the
+// same master seed, because per-replication seeds are pure functions of
+// (seed, job, rep index).
+func TestSweepReplicationsEngineDeterministic(t *testing.T) {
+	z, err := models.NewZ(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Model: z, N: 5, C: 515, Frames: 4000, Seed: 1996}
+	buffers := []float64{0, 10, 40}
+	const reps = 8
+
+	serial, err := SweepReplications(cfg, buffers, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cover NumCPU plus forced multi-worker pools so a single-core CI
+	// machine still exercises concurrent scheduling.
+	for _, workers := range []int{runtime.NumCPU(), 2, reps} {
+		parallel, err := SweepReplicationsEngine(context.Background(),
+			runner.New(workers), cfg, buffers, reps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range serial {
+			for r := range serial[j] {
+				if serial[j][r] != parallel[j][r] {
+					t.Fatalf("workers=%d buffer %d rep %d: serial %+v != parallel %+v",
+						workers, j, r, serial[j][r], parallel[j][r])
+				}
+			}
+		}
+		cs, cp := CLREstimate(serial[1], 0.95), CLREstimate(parallel[1], 0.95)
+		if cs != cp {
+			t.Fatalf("workers=%d: CLR estimate differs: serial %+v, parallel %+v",
+				workers, cs, cp)
+		}
+	}
+}
+
+func TestSweepReplicationsEngineCancellation(t *testing.T) {
+	z, err := models.NewZ(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := Config{Model: z, N: 5, C: 515, Frames: 4000, Seed: 3}
+	if _, err := SweepReplicationsEngine(ctx, runner.New(2), cfg, []float64{0}, 50); err == nil {
+		t.Fatal("cancelled sweep returned nil error")
 	}
 }
 

@@ -1,0 +1,330 @@
+// Package runner is the experiment-orchestration engine: it fans the
+// replications of a simulation job out over a bounded worker pool while
+// guaranteeing that the results are bit-identical to a serial run.
+//
+// Three properties make parallel replications safe for the paper's
+// statistics:
+//
+//  1. Deterministic seeding. The seed of replication i of a job is a
+//     splitmix64 hash of (master seed, job ID, i) — a pure function, so
+//     results do not depend on worker count or scheduling order.
+//  2. Cancellation and fail-fast. Run observes its context and aborts all
+//     in-flight replications as soon as one fails or the caller cancels.
+//  3. Checkpointing. With a Checkpoint attached, every finished
+//     replication is persisted keyed by (job fingerprint, rep index); an
+//     interrupted full-scale run resumes instead of restarting.
+//
+// The engine also keeps atomic progress counters (replications done, work
+// units such as simulated frames, ETA) exposed through Stats snapshots and
+// an optional periodic logger.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/seed"
+)
+
+// Spec identifies one job: a batch of independent replications of the same
+// experiment configuration.
+type Spec struct {
+	// ID names the job and enters the per-replication seed derivation —
+	// two jobs with different IDs draw disjoint randomness from the same
+	// master seed. It should be stable but need not encode every
+	// parameter.
+	ID string
+	// Reps is the number of replications (the paper runs 60).
+	Reps int
+	// MasterSeed is the experiment's master seed. Replication i runs with
+	// seed.DeriveString(MasterSeed, ID, i).
+	MasterSeed int64
+	// Fingerprint keys checkpoint entries. It must change whenever any
+	// parameter that affects results changes (model, frames, N, c,
+	// buffers, seed, ...); stale entries would otherwise be replayed into
+	// a different experiment. Empty means "ID + MasterSeed + Reps".
+	Fingerprint string
+}
+
+func (s Spec) fingerprint() string {
+	fp := s.Fingerprint
+	if fp == "" {
+		fp = s.ID
+	}
+	return fmt.Sprintf("%s|seed=%d|reps=%d", fp, s.MasterSeed, s.Reps)
+}
+
+// Rep hands one replication its identity and a progress hook.
+type Rep struct {
+	// Index is the replication number in [0, Spec.Reps).
+	Index int
+	// Seed is the deterministically derived replication seed.
+	Seed int64
+	eng  *Engine
+}
+
+// AddUnits reports completed work units (e.g. simulated frames) to the
+// engine's progress counters. Safe to call from any goroutine; a nil
+// engine (zero Rep) is a no-op so job functions can be tested directly.
+func (r Rep) AddUnits(n int64) {
+	if r.eng != nil {
+		r.eng.units.Add(n)
+	}
+}
+
+// Engine owns the worker pool, progress counters and optional checkpoint
+// shared by a sequence of jobs. The zero value is not usable; call New.
+type Engine struct {
+	workers    int
+	checkpoint *Checkpoint
+
+	start     time.Time
+	startOnce sync.Once
+
+	jobs, jobsDone       atomic.Int64
+	repsTotal, repsDone  atomic.Int64
+	repsResumed          atomic.Int64
+	units                atomic.Int64
+
+	logMu   sync.Mutex
+	logStop chan struct{}
+}
+
+// New builds an engine with the given parallelism. workers ≤ 0 selects
+// runtime.NumCPU(); workers = 1 is the serial path.
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Engine{workers: workers}
+}
+
+// Workers reports the engine's parallelism.
+func (e *Engine) Workers() int { return e.workers }
+
+// SetCheckpoint attaches a checkpoint store; completed replications are
+// persisted to it and replayed on the next run. Call before Run.
+func (e *Engine) SetCheckpoint(c *Checkpoint) { e.checkpoint = c }
+
+// Stats is a consistent-enough snapshot of the engine's progress counters
+// (each counter is read atomically; the set is not fenced, which is fine
+// for observability).
+type Stats struct {
+	Workers     int
+	Jobs        int64         // jobs submitted
+	JobsDone    int64         // jobs fully completed
+	RepsTotal   int64         // replications submitted across all jobs
+	RepsDone    int64         // replications finished (incl. resumed)
+	RepsResumed int64         // replications satisfied from the checkpoint
+	Units       int64         // work units reported via Rep.AddUnits
+	Elapsed     time.Duration // since the first Run call
+	ETA         time.Duration // Elapsed-scaled estimate; 0 until RepsDone>RepsResumed
+}
+
+func (s Stats) String() string {
+	eta := "?"
+	if s.ETA > 0 {
+		eta = s.ETA.Round(time.Second).String()
+	}
+	return fmt.Sprintf("runner: %d/%d reps (%d resumed), %d jobs done, %d units, elapsed %s, eta %s",
+		s.RepsDone, s.RepsTotal, s.RepsResumed, s.JobsDone, s.Units,
+		s.Elapsed.Round(time.Second), eta)
+}
+
+// Stats returns a snapshot of the progress counters.
+func (e *Engine) Stats() Stats {
+	st := Stats{
+		Workers:     e.workers,
+		Jobs:        e.jobs.Load(),
+		JobsDone:    e.jobsDone.Load(),
+		RepsTotal:   e.repsTotal.Load(),
+		RepsDone:    e.repsDone.Load(),
+		RepsResumed: e.repsResumed.Load(),
+		Units:       e.units.Load(),
+	}
+	if !e.start.IsZero() {
+		st.Elapsed = time.Since(e.start)
+	}
+	// ETA from fresh (non-resumed) replications only: resumed reps are
+	// free, so scaling elapsed time by them would be wildly optimistic.
+	fresh := st.RepsDone - st.RepsResumed
+	remaining := st.RepsTotal - st.RepsDone
+	if fresh > 0 && remaining > 0 && st.Elapsed > 0 {
+		st.ETA = time.Duration(float64(st.Elapsed) / float64(fresh) * float64(remaining))
+	}
+	return st
+}
+
+// LogProgress starts a goroutine that writes a Stats line to w every
+// interval until the returned stop function is called. A nil w logs to
+// stderr.
+func (e *Engine) LogProgress(interval time.Duration, w io.Writer) (stop func()) {
+	if w == nil {
+		w = os.Stderr
+	}
+	e.logMu.Lock()
+	defer e.logMu.Unlock()
+	if e.logStop != nil {
+		return func() {} // already logging
+	}
+	done := make(chan struct{})
+	e.logStop = done
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				fmt.Fprintln(w, e.Stats().String())
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			e.logMu.Lock()
+			e.logStop = nil
+			e.logMu.Unlock()
+		})
+	}
+}
+
+// Run executes spec.Reps replications of fn on the engine's worker pool
+// and returns their results ordered by replication index. fn must be a
+// pure function of (ctx, rep) — in particular all randomness must come
+// from rep.Seed — which makes the output independent of worker count.
+//
+// The first error cancels every other replication and is returned; a
+// cancelled context returns context.Cause(ctx). With a checkpoint
+// attached, results of type T must round-trip through encoding/json;
+// previously completed replications are restored without re-running fn.
+func Run[T any](ctx context.Context, e *Engine, spec Spec, fn func(ctx context.Context, r Rep) (T, error)) ([]T, error) {
+	if e == nil {
+		return nil, fmt.Errorf("runner: nil engine")
+	}
+	if spec.Reps < 1 {
+		return nil, fmt.Errorf("runner: job %q reps = %d must be ≥ 1", spec.ID, spec.Reps)
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("runner: job %q has nil function", spec.ID)
+	}
+	e.startOnce.Do(func() { e.start = time.Now() })
+	e.jobs.Add(1)
+	e.repsTotal.Add(int64(spec.Reps))
+
+	results := make([]T, spec.Reps)
+	fp := spec.fingerprint()
+
+	// Restore checkpointed replications and collect the rest.
+	pending := make([]int, 0, spec.Reps)
+	for i := 0; i < spec.Reps; i++ {
+		if e.checkpoint != nil {
+			ok, err := e.checkpoint.lookup(repKey(fp, i), &results[i])
+			if err != nil {
+				return nil, fmt.Errorf("runner: job %q rep %d: corrupt checkpoint entry: %w", spec.ID, i, err)
+			}
+			if ok {
+				e.repsResumed.Add(1)
+				e.repsDone.Add(1)
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+
+	if len(pending) > 0 {
+		ctx, cancel := context.WithCancelCause(ctx)
+		defer cancel(nil)
+
+		workers := e.workers
+		if workers > len(pending) {
+			workers = len(pending)
+		}
+		idxCh := make(chan int)
+		var wg sync.WaitGroup
+		var firstErr atomic.Pointer[error]
+		fail := func(err error) {
+			if firstErr.CompareAndSwap(nil, &err) {
+				cancel(err)
+			}
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idxCh {
+					if ctx.Err() != nil {
+						return
+					}
+					rep := Rep{
+						Index: i,
+						Seed:  seed.DeriveString(spec.MasterSeed, spec.ID, uint64(i)),
+						eng:   e,
+					}
+					res, err := fn(ctx, rep)
+					if err != nil {
+						fail(fmt.Errorf("runner: job %q rep %d: %w", spec.ID, i, err))
+						return
+					}
+					results[i] = res
+					e.repsDone.Add(1)
+					if e.checkpoint != nil {
+						if err := e.checkpoint.put(repKey(fp, i), res); err != nil {
+							fail(fmt.Errorf("runner: job %q rep %d: checkpoint: %w", spec.ID, i, err))
+							return
+						}
+					}
+				}
+			}()
+		}
+	feed:
+		for _, i := range pending {
+			select {
+			case idxCh <- i:
+			case <-ctx.Done():
+				break feed
+			}
+		}
+		close(idxCh)
+		wg.Wait()
+
+		if errp := firstErr.Load(); errp != nil {
+			return nil, *errp
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, context.Cause(ctx)
+		}
+	}
+
+	e.jobsDone.Add(1)
+	return results, nil
+}
+
+func repKey(fingerprint string, rep int) string {
+	// The fingerprint is hashed so checkpoint keys stay short and opaque
+	// regardless of how much configuration the caller encodes in it.
+	return fmt.Sprintf("%016x:%d", hashString(fingerprint), rep)
+}
+
+func hashString(s string) uint64 {
+	// FNV-1a, finalized through the splitmix64 mixer for avalanche.
+	const (
+		offset = 0xcbf29ce484222325
+		prime  = 0x100000001b3
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return seed.Mix(h)
+}

@@ -282,6 +282,79 @@ func BenchmarkSweepReplicationsParallel(b *testing.B) {
 	}
 }
 
+// replayWorkload synthesises one FGN trace and wraps it as a replay
+// model: the cheapest source the pipeline can drive, so the scalar/block
+// benchmark pair below measures the multiplexer pull mechanism itself
+// rather than a generator's arithmetic.
+func replayWorkload(b *testing.B) *traffic.Replay {
+	b.Helper()
+	f, err := fgn.NewModel(0.9, 500, 5000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f.BlockLen = 1 << 16
+	trace := traffic.Generate(f.NewGenerator(1), 1<<16)
+	rep, err := traffic.NewReplay("fgn-trace", trace)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rep
+}
+
+// benchMuxRun drives N=100 sources through mux.Run and reports aggregate
+// source-frames/sec (N × frames per wall second).
+func benchMuxRun(b *testing.B, m traffic.Model) {
+	b.Helper()
+	cfg := mux.Config{Model: m, N: 100, C: 526, B: 100, Frames: 20000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := mux.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cfg.N)*float64(cfg.Frames)*float64(b.N)/b.Elapsed().Seconds(),
+		"frames/sec")
+}
+
+// BenchmarkMuxRunScalar is the pre-refactor baseline: traffic.ScalarModel
+// hides every native Fill, forcing one interface call per source per
+// frame — the legacy aggregate() pull.
+func BenchmarkMuxRunScalar(b *testing.B) {
+	benchMuxRun(b, traffic.ScalarModel(replayWorkload(b)))
+}
+
+// BenchmarkMuxRunBlock is the same workload through the block-streaming
+// pipeline (chunked fills, contiguous Lindley recursion). Results are
+// bit-identical to the scalar run; only the throughput differs.
+func BenchmarkMuxRunBlock(b *testing.B) {
+	benchMuxRun(b, replayWorkload(b))
+}
+
+// BenchmarkCTSSweep prices a full Fig-4-style buffer sweep against one
+// model with a fresh moment cache per iteration — the cost of the cached
+// V(m) path including the one-time ACF walk, across all grid points.
+func BenchmarkCTSSweep(b *testing.B) {
+	z, err := models.NewZ(0.975)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mo := traffic.NewMoments(z)
+		for _, msec := range experiments.BufferGridMsec {
+			op := core.Operating{
+				C: experiments.Fig4C,
+				B: experiments.MsecToPerSourceCells(msec, experiments.Fig4C),
+				N: experiments.Fig4N,
+			}
+			if _, err := core.CTSMoments(mo, op, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // Multiplexer throughput: frames/sec through the coupled buffer sweep.
 func BenchmarkMuxSweep(b *testing.B) {
 	z, err := models.NewZ(0.975)

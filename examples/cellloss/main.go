@@ -12,11 +12,11 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 
 	"repro/internal/atm"
 	"repro/internal/cellsim"
 	"repro/internal/models"
+	"repro/internal/randx"
 	"repro/internal/shaper"
 	"repro/internal/traffic"
 )
@@ -24,7 +24,7 @@ import (
 func main() {
 	// 1. One video frame through the real AAL5 cell stack.
 	frame := make([]byte, 20000) // ≈ a 500-cell frame minus overhead
-	rand.New(rand.NewSource(1)).Read(frame)
+	randx.NewRand(1).Read(frame)
 	hdr := atm.Header{VPI: 12, VCI: 34}
 	cells, err := atm.SegmentAAL5(hdr, frame)
 	if err != nil {

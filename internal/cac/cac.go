@@ -70,13 +70,15 @@ func (e Estimator) String() string {
 	}
 }
 
-// estimate evaluates the chosen overflow estimator at the operating point.
-func estimate(e Estimator, m traffic.Model, op core.Operating) (float64, error) {
+// estimate evaluates the chosen overflow estimator at the operating point
+// against a cached moment view, so the admission binary search shares one
+// ACF lag table across all the operating points it probes.
+func estimate(e Estimator, mo *traffic.Moments, op core.Operating) (float64, error) {
 	switch e {
 	case BahadurRao:
-		return core.BahadurRao(m, op, 0)
+		return core.BahadurRaoMoments(mo, op, 0)
 	case LargeN:
-		return core.LargeN(m, op, 0)
+		return core.LargeNMoments(mo, op, 0)
 	default:
 		return 0, fmt.Errorf("cac: unknown estimator %d", int(e))
 	}
@@ -101,13 +103,14 @@ func Admissible(m traffic.Model, l Link, clrTarget float64, e Estimator) (int, e
 	if ceiling < 1 {
 		return 0, nil
 	}
+	mo := core.Moments(m)
 	meets := func(n int) (bool, error) {
 		op := core.Operating{
 			C: l.CellsPerFrame() / float64(n),
 			B: l.BufferCells() / float64(n),
 			N: n,
 		}
-		p, err := estimate(e, m, op)
+		p, err := estimate(e, mo, op)
 		if err != nil {
 			return false, err
 		}
@@ -160,8 +163,9 @@ func EffectiveBandwidth(m traffic.Model, n int, b, clrTarget float64) (float64, 
 		return 0, fmt.Errorf("cac: loss target %v outside (0, 1)", clrTarget)
 	}
 	logTarget := math.Log(clrTarget)
+	mo := core.Moments(m)
 	f := func(c float64) float64 {
-		p, err := core.BahadurRao(m, core.Operating{C: c, B: b, N: n}, 0)
+		p, err := core.BahadurRaoMoments(mo, core.Operating{C: c, B: b, N: n}, 0)
 		if err != nil || p <= 0 {
 			return math.Inf(-1)
 		}

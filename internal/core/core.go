@@ -84,16 +84,15 @@ func (v *VarianceOfSum) Advance() {
 }
 
 // AggregateVariance returns V(1..upTo) for model m as a slice indexed from
-// 0 (entry i holds V(i+1)).
+// 0 (entry i holds V(i+1)), served from the model's shared Moments cache.
 func AggregateVariance(m traffic.Model, upTo int) []float64 {
 	if upTo < 1 {
 		return nil
 	}
+	mo := Moments(m)
 	out := make([]float64, upTo)
-	acc := NewVarianceOfSum(m)
-	for i := 0; i < upTo; i++ {
-		out[i] = acc.Value()
-		acc.Advance()
+	for i := range out {
+		out[i] = mo.VarSum(i + 1)
 	}
 	return out
 }
@@ -116,34 +115,12 @@ const DefaultMaxM = 4 << 20
 //
 // The scan is safe to terminate early because V(m) = o(m²) for any process
 // with r(k) → 0, so the objective diverges; we stop once m is four times
-// past the incumbent minimiser and the objective has tripled.
+// past the incumbent minimiser (plus a slack of 64 lags) and the objective
+// has tripled (solver.IntArgminSlack). V(m) is served from the model's
+// shared Moments cache, so repeated CTS calls against one model — buffer
+// sweeps, admission-control searches — cost one ACF walk in total.
 func CTS(model traffic.Model, op Operating, maxM int) (CTSResult, error) {
-	if err := op.Validate(model); err != nil {
-		return CTSResult{}, err
-	}
-	if maxM <= 0 {
-		maxM = DefaultMaxM
-	}
-	drift := op.C - model.Mean()
-	acc := NewVarianceOfSum(model)
-	obj := func(m int) float64 {
-		num := op.B + float64(m)*drift
-		return num * num / (2 * acc.Value())
-	}
-	best := CTSResult{M: 1, Rate: obj(1)}
-	for m := 2; m <= maxM; m++ {
-		acc.Advance()
-		v := obj(m)
-		if v < best.Rate {
-			best.M, best.Rate = m, v
-			continue
-		}
-		if m >= 4*best.M+64 && v >= 3*best.Rate {
-			best.Converged = true
-			return best, nil
-		}
-	}
-	return best, nil
+	return CTSMoments(Moments(model), op, maxM)
 }
 
 // RateFunction returns I(c,b) alone; see CTS.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/solver"
 	"repro/internal/traffic"
 )
 
@@ -79,38 +80,23 @@ func MixCTS(mix Mix, totalC, totalB float64, maxM int) (CTSResult, error) {
 	if maxM <= 0 {
 		maxM = DefaultMaxM
 	}
-	accs := make([]*VarianceOfSum, len(mix))
+	// Per-class cached moment views: components repeated across MixCTS
+	// calls (CAC searches sweep counts with fixed models) share lag tables.
+	moms := make([]*traffic.Moments, len(mix))
 	for i, c := range mix {
-		accs[i] = NewVarianceOfSum(c.Model)
+		moms[i] = Moments(c.Model)
 	}
 	drift := totalC - mu
-	value := func() float64 {
+	obj := func(m int) float64 {
 		var v float64
 		for i, c := range mix {
-			v += float64(c.Count) * accs[i].Value()
+			v += float64(c.Count) * moms[i].VarSum(m)
 		}
-		return v
-	}
-	obj := func(m int) float64 {
 		num := totalB + float64(m)*drift
-		return num * num / (2 * value())
+		return num * num / (2 * v)
 	}
-	best := CTSResult{M: 1, Rate: obj(1)}
-	for m := 2; m <= maxM; m++ {
-		for _, a := range accs {
-			a.Advance()
-		}
-		v := obj(m)
-		if v < best.Rate {
-			best.M, best.Rate = m, v
-			continue
-		}
-		if m >= 4*best.M+64 && v >= 3*best.Rate {
-			best.Converged = true
-			return best, nil
-		}
-	}
-	return best, nil
+	best, ok := solver.IntArgminSlack(obj, maxM, 4, 64, 3)
+	return CTSResult{M: best.Arg, Rate: best.Value, Converged: ok}, nil
 }
 
 // MixBahadurRao returns the Bahadur-Rao overflow estimate for a

@@ -28,6 +28,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"repro/internal/randx"
 	"repro/internal/solver"
 	"repro/internal/traffic"
 )
@@ -214,7 +215,7 @@ type generator struct {
 // warm-up is required for first-order statistics, and second-order
 // transients decay geometrically.
 func (p *Process) NewGenerator(seed int64) traffic.Generator {
-	rng := rand.New(rand.NewSource(seed))
+	rng := randx.NewRand(seed)
 	hist := make([]float64, len(p.a))
 	for i := range hist {
 		hist[i] = p.marginal.Sample(rng)
@@ -222,8 +223,8 @@ func (p *Process) NewGenerator(seed int64) traffic.Generator {
 	return &generator{p: p, rng: rng, hist: hist}
 }
 
-// NextFrame implements traffic.Generator.
-func (g *generator) NextFrame() float64 {
+// frame advances the chain one step.
+func (g *generator) frame() float64 {
 	var next float64
 	if g.rng.Float64() < g.p.rho {
 		// Repeat the value from lag A_n, where P(A_n = i) = a_i.
@@ -243,6 +244,18 @@ func (g *generator) NextFrame() float64 {
 	copy(g.hist[1:], g.hist)
 	g.hist[0] = next
 	return next
+}
+
+// NextFrame implements traffic.Generator.
+func (g *generator) NextFrame() float64 { return g.frame() }
+
+// Fill implements traffic.BlockGenerator with the same draw order as
+// repeated NextFrame calls (bit-identical paths), amortising the two
+// interface dispatches per frame over a whole chunk.
+func (g *generator) Fill(dst []float64) {
+	for i := range dst {
+		dst[i] = g.frame()
+	}
 }
 
 // Fit solves for the DAR(p) parameters (ρ, a) that exactly match the target

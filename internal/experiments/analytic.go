@@ -9,12 +9,14 @@ import (
 )
 
 // ctsSeries evaluates the critical time scale m*_b across the buffer grid
-// (total buffer in msec) for one model.
+// (total buffer in msec) for one model, sharing one cached moment view
+// across all grid points.
 func ctsSeries(m traffic.Model, c float64, n int, grid []float64) (Series, error) {
 	s := Series{Label: m.Name()}
+	mo := core.Moments(m)
 	for _, msec := range grid {
 		op := core.Operating{C: c, B: MsecToPerSourceCells(msec, c), N: n}
-		res, err := core.CTS(m, op, 0)
+		res, err := core.CTSMoments(mo, op, 0)
 		if err != nil {
 			return Series{}, fmt.Errorf("cts %s at %v msec: %w", m.Name(), msec, err)
 		}
@@ -61,12 +63,14 @@ func Fig4() ([]*Result, error) {
 }
 
 // bopSeries evaluates the Bahadur-Rao overflow estimate across the buffer
-// grid for one model.
+// grid for one model, sharing one cached moment view across all grid
+// points.
 func bopSeries(m traffic.Model, c float64, n int, grid []float64) (Series, error) {
 	s := Series{Label: m.Name()}
+	mo := core.Moments(m)
 	for _, msec := range grid {
 		op := core.Operating{C: c, B: MsecToPerSourceCells(msec, c), N: n}
-		p, err := core.BahadurRao(m, op, 0)
+		p, err := core.BahadurRaoMoments(mo, op, 0)
 		if err != nil {
 			return Series{}, fmt.Errorf("bop %s at %v msec: %w", m.Name(), msec, err)
 		}

@@ -151,9 +151,10 @@ func ExtWeibull() ([]*Result, error) {
 		br.Label = "bahadur-rao"
 		res.Series = append(res.Series, br)
 		ln := Series{Label: "large-N"}
+		mo := core.Moments(m)
 		for _, msec := range BufferGridMsec[1:] {
 			op := core.Operating{C: BopC, B: MsecToPerSourceCells(msec, BopC), N: BopN}
-			p, err := core.LargeN(m, op, 0)
+			p, err := core.LargeNMoments(mo, op, 0)
 			if err != nil {
 				return nil, err
 			}

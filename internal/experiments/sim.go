@@ -152,13 +152,14 @@ func Fig10(cfg SimConfig) (*Result, error) {
 	}
 	br := Series{Label: "Bahadur-Rao"}
 	ln := Series{Label: "Large-N"}
+	mo := core.Moments(d)
 	for _, msec := range SimBufferGridMsec {
 		op := core.Operating{C: BopC, B: MsecToPerSourceCells(msec, BopC), N: BopN}
-		pb, err := core.BahadurRao(d, op, 0)
+		pb, err := core.BahadurRaoMoments(mo, op, 0)
 		if err != nil {
 			return nil, err
 		}
-		pl, err := core.LargeN(d, op, 0)
+		pl, err := core.LargeNMoments(mo, op, 0)
 		if err != nil {
 			return nil, err
 		}

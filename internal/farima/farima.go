@@ -24,7 +24,9 @@ import (
 
 // Model is an F-ARIMA(0,d,0) frame-size process. It is a thin wrapper
 // keeping d and the ACF memo; the traffic.Model implementation is the
-// embedded Gaussian synthesiser.
+// embedded Gaussian synthesiser, whose generators also satisfy
+// traffic.BlockGenerator (native block Fill), so F-ARIMA inherits the
+// block-streaming fast path for free.
 type Model struct {
 	*fgn.Model
 	D float64

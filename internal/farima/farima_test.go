@@ -109,6 +109,24 @@ func TestGeneratorLRD(t *testing.T) {
 	}
 }
 
+func TestGeneratorIsBlockGenerator(t *testing.T) {
+	// The embedded fgn synthesiser provides a native block Fill; F-ARIMA
+	// generators must inherit it (no scalar fallback in the mux hot path).
+	m, _ := New(0.3, 0, 1)
+	m.BlockLen = 256
+	g := m.NewGenerator(4)
+	if _, ok := g.(traffic.BlockGenerator); !ok {
+		t.Fatalf("%T does not implement traffic.BlockGenerator", g)
+	}
+	a := traffic.Generate(m.NewGenerator(4), 500)
+	b := traffic.FillFrames(traffic.Blocks(m.NewGenerator(4)), 500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("frame %d: scalar %v != block %v", i, a[i], b[i])
+		}
+	}
+}
+
 func TestGeneratorReproducible(t *testing.T) {
 	m, _ := New(0.3, 0, 1)
 	m.BlockLen = 256

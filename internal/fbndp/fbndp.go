@@ -249,7 +249,7 @@ type generator struct {
 // NewGenerator implements traffic.Model. Every ON/OFF process starts in
 // equilibrium: ON with probability 1/2 and a residual-life duration.
 func (m *Model) NewGenerator(seed int64) traffic.Generator {
-	rng := rand.New(rand.NewSource(seed))
+	rng := randx.NewRand(seed)
 	g := &generator{
 		p:      m.P,
 		dur:    newDurations(m.P.Alpha, m.P.CutoffA()),
@@ -269,7 +269,19 @@ func (m *Model) NewGenerator(seed int64) traffic.Generator {
 // NextFrame advances every ON/OFF process by one frame duration,
 // accumulates the total ON time, and draws the frame's cell count from a
 // Poisson distribution with mean R × (total ON seconds).
-func (g *generator) NextFrame() float64 {
+func (g *generator) NextFrame() float64 { return g.frame() }
+
+// Fill implements traffic.BlockGenerator: the M-fold superposition loop
+// and the Poisson draws run over a whole chunk per virtual call, in the
+// same draw order as the scalar protocol (bit-identical paths).
+func (g *generator) Fill(dst []float64) {
+	for i := range dst {
+		dst[i] = g.frame()
+	}
+}
+
+// frame advances the sample path one frame.
+func (g *generator) frame() float64 {
 	var onTime float64
 	for i := range g.phases {
 		ph := &g.phases[i]

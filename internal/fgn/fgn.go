@@ -18,8 +18,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/fft"
+	"repro/internal/randx"
 	"repro/internal/traffic"
 )
 
@@ -34,6 +36,13 @@ type Model struct {
 	// BlockLen is the synthesis block length (power of two). Larger blocks
 	// preserve correlation to longer lags at higher memory cost.
 	BlockLen int
+
+	// eigMu guards eigCache, the memoised circulant spectrum per block
+	// length. The spectrum depends only on (ACF, n), so the N generators
+	// of one multiplexer run share a single FFT instead of recomputing
+	// identical eigenvalues N times.
+	eigMu    sync.Mutex
+	eigCache map[int][]float64
 }
 
 // NewGaussianFromACF builds a stationary Gaussian process with an
@@ -136,11 +145,26 @@ func (m *Model) NewGenerator(seed int64) traffic.Generator {
 	}
 	g := &generator{
 		m:     m,
-		rng:   rand.New(rand.NewSource(seed)),
-		sqrtL: eigenvalues(m, n),
+		rng:   randx.NewRand(seed),
+		sqrtL: m.eigenvaluesCached(n),
 	}
 	g.fill(n)
 	return g
+}
+
+// eigenvaluesCached memoises eigenvalues per block length.
+func (m *Model) eigenvaluesCached(n int) []float64 {
+	m.eigMu.Lock()
+	defer m.eigMu.Unlock()
+	if v, ok := m.eigCache[n]; ok {
+		return v
+	}
+	if m.eigCache == nil {
+		m.eigCache = make(map[int][]float64)
+	}
+	v := eigenvalues(m, n)
+	m.eigCache[n] = v
+	return v
 }
 
 // eigenvalues computes the square roots of the 2n circulant eigenvalues of
@@ -205,6 +229,21 @@ func (g *generator) NextFrame() float64 {
 	v := g.block[g.pos]
 	g.pos++
 	return v
+}
+
+// Fill implements traffic.BlockGenerator: bulk copies out of the
+// synthesised block, refilling at block boundaries. The draw order is
+// identical to repeated NextFrame calls, so the path is bit-identical to
+// the scalar protocol.
+func (g *generator) Fill(dst []float64) {
+	for len(dst) > 0 {
+		if g.pos >= len(g.block) {
+			g.fill(len(g.block))
+		}
+		n := copy(dst, g.block[g.pos:])
+		g.pos += n
+		dst = dst[n:]
+	}
 }
 
 func max(a, b int) int {

@@ -163,7 +163,7 @@ type generator struct {
 // equilibrium: Poisson(ν) sessions with equilibrium residual holds, so the
 // sampled process is stationary from the first frame.
 func (m *Model) NewGenerator(seed int64) traffic.Generator {
-	rng := rand.New(rand.NewSource(seed))
+	rng := randx.NewRand(seed)
 	g := &generator{p: m.P, rng: rng}
 	n := randx.Poisson(rng, m.P.Occupancy())
 	for i := int64(0); i < n; i++ {
@@ -198,7 +198,19 @@ func (g *generator) sampleResidual() float64 {
 // NextFrame implements traffic.Generator: advance one frame, admit the
 // frame's Poisson arrivals (with uniform arrival instants), expire finished
 // sessions, and return ρ × (occupancy at the frame boundary).
-func (g *generator) NextFrame() float64 {
+func (g *generator) NextFrame() float64 { return g.frame() }
+
+// Fill implements traffic.BlockGenerator: the session bookkeeping runs
+// over a whole chunk per virtual call, in the same draw order as the
+// scalar protocol (bit-identical paths).
+func (g *generator) Fill(dst []float64) {
+	for i := range dst {
+		dst[i] = g.frame()
+	}
+}
+
+// frame advances the session process one frame.
+func (g *generator) frame() float64 {
 	next := g.now + g.p.Ts
 	arrivals := randx.Poisson(g.rng, g.p.SessionRate*g.p.Ts)
 	for i := int64(0); i < arrivals; i++ {

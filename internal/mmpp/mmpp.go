@@ -152,14 +152,25 @@ type generator struct {
 // stationary distribution (each state probability ½, exponential residual
 // by memorylessness).
 func (m *Model) NewGenerator(seed int64) traffic.Generator {
-	rng := rand.New(rand.NewSource(seed))
+	rng := randx.NewRand(seed)
 	g := &generator{p: m.P, rng: rng, high: rng.Float64() < 0.5}
 	g.until = g.rng.ExpFloat64() * 2 / m.P.Theta // sojourn rate θ/2
 	return g
 }
 
 // NextFrame integrates the rate over one frame and draws the count.
-func (g *generator) NextFrame() float64 {
+func (g *generator) NextFrame() float64 { return g.frame() }
+
+// Fill implements traffic.BlockGenerator in the scalar draw order
+// (bit-identical paths).
+func (g *generator) Fill(dst []float64) {
+	for i := range dst {
+		dst[i] = g.frame()
+	}
+}
+
+// frame integrates the rate over one frame and draws the count.
+func (g *generator) frame() float64 {
 	end := g.now + g.p.Ts
 	var exposure float64 // ∫ rate dt over the frame
 	for g.until < end {

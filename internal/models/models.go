@@ -17,10 +17,10 @@ package models
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"repro/internal/dar"
 	"repro/internal/fbndp"
+	"repro/internal/randx"
 	"repro/internal/traffic"
 )
 
@@ -86,12 +86,40 @@ func (c *Composite) ACF(k int) float64 {
 // NewGenerator implements traffic.Model: the sum of independent X and Y
 // sample paths, with child seeds derived deterministically from seed.
 func (c *Composite) NewGenerator(seed int64) traffic.Generator {
-	r := rand.New(rand.NewSource(seed))
+	r := randx.NewRand(seed)
 	gx := c.X.NewGenerator(r.Int63())
 	gy := c.Y.NewGenerator(r.Int63())
-	return traffic.GeneratorFunc(func() float64 {
-		return gx.NextFrame() + gy.NextFrame()
-	})
+	return &compositeGen{
+		gx: gx, gy: gy,
+		bx: traffic.Blocks(gx), by: traffic.Blocks(gy),
+	}
+}
+
+// compositeGen sums independent component sample paths. The components
+// hold separate RNG streams, so filling X for a whole chunk and then Y
+// yields exactly the per-frame interleaved path of the scalar protocol.
+type compositeGen struct {
+	gx, gy traffic.Generator
+	bx, by traffic.BlockGenerator
+	tmp    []float64 // scratch for the Y component during Fill
+}
+
+// NextFrame implements traffic.Generator.
+func (g *compositeGen) NextFrame() float64 {
+	return g.gx.NextFrame() + g.gy.NextFrame()
+}
+
+// Fill implements traffic.BlockGenerator (bit-identical to NextFrame).
+func (g *compositeGen) Fill(dst []float64) {
+	if cap(g.tmp) < len(dst) {
+		g.tmp = make([]float64, len(dst))
+	}
+	tmp := g.tmp[:len(dst)]
+	g.bx.Fill(dst)
+	g.by.Fill(tmp)
+	for i, v := range tmp {
+		dst[i] += v
+	}
 }
 
 // componentSplit computes the FBNDP component moments implied by weight v:

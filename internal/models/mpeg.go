@@ -2,9 +2,9 @@ package models
 
 import (
 	"fmt"
-	"math/rand"
 	"strings"
 
+	"repro/internal/randx"
 	"repro/internal/traffic"
 )
 
@@ -141,12 +141,34 @@ func (m *MPEG) ACF(k int) float64 {
 // NewGenerator implements traffic.Model: the base path scaled by the GOP
 // weights from a uniformly random starting phase.
 func (m *MPEG) NewGenerator(seed int64) traffic.Generator {
-	rng := rand.New(rand.NewSource(seed))
+	rng := randx.NewRand(seed)
 	phase := rng.Intn(len(m.weights))
 	g := m.base.NewGenerator(rng.Int63())
-	return traffic.GeneratorFunc(func() float64 {
-		w := m.weights[phase]
-		phase = (phase + 1) % len(m.weights)
-		return w * g.NextFrame()
-	})
+	return &mpegGen{weights: m.weights, phase: phase, g: g, b: traffic.Blocks(g)}
+}
+
+// mpegGen modulates a base sample path by the periodic GOP weights.
+type mpegGen struct {
+	weights []float64
+	phase   int
+	g       traffic.Generator
+	b       traffic.BlockGenerator
+}
+
+// NextFrame implements traffic.Generator.
+func (g *mpegGen) NextFrame() float64 {
+	w := g.weights[g.phase]
+	g.phase = (g.phase + 1) % len(g.weights)
+	return w * g.g.NextFrame()
+}
+
+// Fill implements traffic.BlockGenerator: one bulk pull from the base
+// generator, then the periodic scaling in place (bit-identical to the
+// scalar protocol).
+func (g *mpegGen) Fill(dst []float64) {
+	g.b.Fill(dst)
+	for i := range dst {
+		dst[i] *= g.weights[g.phase]
+		g.phase = (g.phase + 1) % len(g.weights)
+	}
 }

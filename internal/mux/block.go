@@ -1,0 +1,81 @@
+package mux
+
+import (
+	"sync"
+
+	"repro/internal/traffic"
+)
+
+// chunkFrames is the streaming block length used by every simulation loop
+// in this package: each source fills 4096 frames (32 KiB of float64) at a
+// time, so the per-chunk working set — one aggregate buffer plus one
+// scratch buffer — stays L2-resident while amortising the per-frame
+// interface dispatch of the scalar traffic.Generator protocol over whole
+// blocks. Generators with a native Fill (fgn/farima block synthesis,
+// trace replay) additionally amortise or eliminate their own per-frame
+// overhead.
+const chunkFrames = 4096
+
+// chunkPool recycles chunk buffers across runs so sweeps allocate a
+// constant number of buffers regardless of horizon. The pool stores
+// *[]float64 (not []float64) so Put does not allocate a fresh interface
+// box for the slice header on every cycle.
+var chunkPool = sync.Pool{
+	New: func() interface{} {
+		b := make([]float64, chunkFrames)
+		return &b
+	},
+}
+
+// blockAggregator streams the aggregate arrival process of a set of
+// sources in chunks. The aggregate for frame i is accumulated in source
+// order — the same float64 summation order as the old per-frame
+// aggregate() loop — so block-streamed sample paths are bit-identical to
+// the scalar protocol's.
+type blockAggregator struct {
+	gens []traffic.BlockGenerator
+	agg  *[]float64
+	tmp  *[]float64
+}
+
+// newBlockAggregator wraps gens for block streaming, using each
+// generator's native Fill where it has one.
+func newBlockAggregator(gens []traffic.Generator) *blockAggregator {
+	bs := make([]traffic.BlockGenerator, len(gens))
+	for i, g := range gens {
+		bs[i] = traffic.Blocks(g)
+	}
+	return &blockAggregator{
+		gens: bs,
+		agg:  chunkPool.Get().(*[]float64),
+		tmp:  chunkPool.Get().(*[]float64),
+	}
+}
+
+// next returns the aggregate frame volumes for the next n frames
+// (n ≤ chunkFrames). The returned slice is owned by the aggregator and
+// valid until the next call to next or release.
+func (b *blockAggregator) next(n int) []float64 {
+	agg := (*b.agg)[:n]
+	tmp := (*b.tmp)[:n]
+	for i := range agg {
+		agg[i] = 0
+	}
+	for _, g := range b.gens {
+		g.Fill(tmp)
+		for i, v := range tmp {
+			agg[i] += v
+		}
+	}
+	return agg
+}
+
+// release returns the chunk buffers to the pool. The aggregator must not
+// be used afterwards.
+func (b *blockAggregator) release() {
+	if b.agg != nil {
+		chunkPool.Put(b.agg)
+		chunkPool.Put(b.tmp)
+		b.agg, b.tmp = nil, nil
+	}
+}

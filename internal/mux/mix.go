@@ -51,29 +51,43 @@ func RunMix(cfg MixConfig) (Result, error) {
 	var k uint64
 	for _, comp := range cfg.Mix {
 		for i := 0; i < comp.Count; i++ {
-			gens = append(gens, comp.Model.NewGenerator(seed.Derive(cfg.Seed, k)))
+			g := comp.Model.NewGenerator(seed.Derive(cfg.Seed, k))
+			if g == nil {
+				return Result{}, fmt.Errorf("mux: model %q returned nil generator for mix source %d",
+					comp.Model.Name(), k)
+			}
+			gens = append(gens, g)
 			k++
 		}
 	}
+	ba := newBlockAggregator(gens)
+	defer ba.release()
 	var w float64
-	for i := 0; i < cfg.Warmup; i++ {
-		w = clip(w+aggregate(gens)-cfg.TotalC, cfg.TotalB)
+	for rem := cfg.Warmup; rem > 0; {
+		n := min(rem, chunkFrames)
+		for _, a := range ba.next(n) {
+			w = clip(w+a-cfg.TotalC, cfg.TotalB)
+		}
+		rem -= n
 	}
 	res := Result{Frames: cfg.Frames, InitialW: w}
 	var sumW float64
-	for i := 0; i < cfg.Frames; i++ {
-		a := aggregate(gens)
-		res.ArrivedCells += a
-		net := w + a - cfg.TotalC
-		if loss := net - cfg.TotalB; loss > 0 {
-			res.LostCells += loss
-			res.LossFrames++
+	for rem := cfg.Frames; rem > 0; {
+		n := min(rem, chunkFrames)
+		for _, a := range ba.next(n) {
+			res.ArrivedCells += a
+			net := w + a - cfg.TotalC
+			if loss := net - cfg.TotalB; loss > 0 {
+				res.LostCells += loss
+				res.LossFrames++
+			}
+			w = clip(net, cfg.TotalB)
+			sumW += w
+			if w > res.MaxWorkload {
+				res.MaxWorkload = w
+			}
 		}
-		w = clip(net, cfg.TotalB)
-		sumW += w
-		if w > res.MaxWorkload {
-			res.MaxWorkload = w
-		}
+		rem -= n
 	}
 	res.FinalW = w
 	res.MeanWorkload = sumW / float64(cfg.Frames)

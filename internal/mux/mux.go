@@ -76,35 +76,48 @@ type Result struct {
 
 // Run executes one finite-buffer replication. Source i uses a child seed
 // derived from cfg.Seed, so replications are reproducible and sources
-// mutually independent.
+// mutually independent. Arrivals are pulled in chunkFrames-sized blocks
+// and the Lindley recursion runs over the contiguous aggregate slice;
+// the sample path is bit-identical to the per-frame scalar protocol.
 func Run(cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
-	gens := sourceGenerators(cfg.Model, cfg.N, cfg.Seed)
+	gens, err := sourceGenerators(cfg.Model, cfg.N, cfg.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	ba := newBlockAggregator(gens)
+	defer ba.release()
 	totalC := float64(cfg.N) * cfg.C
 	totalB := float64(cfg.N) * cfg.B
 
 	var w float64
-	for i := 0; i < cfg.Warmup; i++ {
-		a := aggregate(gens)
-		w = clip(w+a-totalC, totalB)
+	for rem := cfg.Warmup; rem > 0; {
+		n := min(rem, chunkFrames)
+		for _, a := range ba.next(n) {
+			w = clip(w+a-totalC, totalB)
+		}
+		rem -= n
 	}
 	res := Result{Frames: cfg.Frames, InitialW: w}
 	var sumW float64
-	for i := 0; i < cfg.Frames; i++ {
-		a := aggregate(gens)
-		res.ArrivedCells += a
-		net := w + a - totalC
-		if loss := net - totalB; loss > 0 {
-			res.LostCells += loss
-			res.LossFrames++
+	for rem := cfg.Frames; rem > 0; {
+		n := min(rem, chunkFrames)
+		for _, a := range ba.next(n) {
+			res.ArrivedCells += a
+			net := w + a - totalC
+			if loss := net - totalB; loss > 0 {
+				res.LostCells += loss
+				res.LossFrames++
+			}
+			w = clip(net, totalB)
+			sumW += w
+			if w > res.MaxWorkload {
+				res.MaxWorkload = w
+			}
 		}
-		w = clip(net, totalB)
-		sumW += w
-		if w > res.MaxWorkload {
-			res.MaxWorkload = w
-		}
+		rem -= n
 	}
 	res.FinalW = w
 	res.MeanWorkload = sumW / float64(cfg.Frames)
@@ -136,23 +149,21 @@ func ChildSeeds(masterSeed int64, n int) []int64 {
 }
 
 // sourceGenerators builds N independent generators with seeds derived from
-// a master seed.
-func sourceGenerators(m traffic.Model, n int, seed int64) []traffic.Generator {
-	seeds := ChildSeeds(seed, n)
+// a master seed. A model returning a nil generator (e.g. an unfitted or
+// partially-constructed wrapper) is reported as an error rather than left
+// to panic frames later inside the simulation loop.
+func sourceGenerators(m traffic.Model, n int, sd int64) ([]traffic.Generator, error) {
+	seeds := ChildSeeds(sd, n)
 	gens := make([]traffic.Generator, n)
 	for i := range gens {
-		gens[i] = m.NewGenerator(seeds[i])
+		g := m.NewGenerator(seeds[i])
+		if g == nil {
+			return nil, fmt.Errorf("mux: model %q returned nil generator for source %d (seed %d)",
+				m.Name(), i, seeds[i])
+		}
+		gens[i] = g
 	}
-	return gens
-}
-
-// aggregate sums one frame from every source.
-func aggregate(gens []traffic.Generator) float64 {
-	var a float64
-	for _, g := range gens {
-		a += g.NextFrame()
-	}
-	return a
+	return gens, nil
 }
 
 // RunReplications executes reps independent replications (the paper runs
@@ -236,29 +247,42 @@ func RunBOP(cfg BOPConfig) (BOPResult, error) {
 	}
 	thr := append([]float64(nil), cfg.Thresholds...)
 	sort.Float64s(thr)
-	gens := sourceGenerators(cfg.Model, cfg.N, cfg.Seed)
+	gens, err := sourceGenerators(cfg.Model, cfg.N, cfg.Seed)
+	if err != nil {
+		return BOPResult{}, err
+	}
+	ba := newBlockAggregator(gens)
+	defer ba.release()
 	totalC := float64(cfg.N) * cfg.C
 
 	var w float64
-	for i := 0; i < cfg.Warmup; i++ {
-		w = math.Max(w+aggregate(gens)-totalC, 0)
+	for rem := cfg.Warmup; rem > 0; {
+		n := min(rem, chunkFrames)
+		for _, a := range ba.next(n) {
+			w = math.Max(w+a-totalC, 0)
+		}
+		rem -= n
 	}
 	counts := make([]int, len(thr))
 	res := BOPResult{Thresholds: thr}
-	for i := 0; i < cfg.Frames; i++ {
-		w = math.Max(w+aggregate(gens)-totalC, 0)
-		if w > res.MaxW {
-			res.MaxW = w
-		}
-		// Thresholds are sorted; count every one below w.
-		for j := len(thr) - 1; j >= 0; j-- {
-			if w > thr[j] {
-				for k := 0; k <= j; k++ {
-					counts[k]++
+	for rem := cfg.Frames; rem > 0; {
+		n := min(rem, chunkFrames)
+		for _, a := range ba.next(n) {
+			w = math.Max(w+a-totalC, 0)
+			if w > res.MaxW {
+				res.MaxW = w
+			}
+			// Thresholds are sorted; count every one below w.
+			for j := len(thr) - 1; j >= 0; j-- {
+				if w > thr[j] {
+					for k := 0; k <= j; k++ {
+						counts[k]++
+					}
+					break
 				}
-				break
 			}
 		}
+		rem -= n
 	}
 	res.Prob = make([]float64, len(thr))
 	for i, c := range counts {
@@ -282,18 +306,33 @@ func SampleWorkload(cfg BOPConfig, every int) ([]float64, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	gens := sourceGenerators(cfg.Model, cfg.N, cfg.Seed)
+	gens, err := sourceGenerators(cfg.Model, cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ba := newBlockAggregator(gens)
+	defer ba.release()
 	totalC := float64(cfg.N) * cfg.C
 	var w float64
-	for i := 0; i < cfg.Warmup; i++ {
-		w = math.Max(w+aggregate(gens)-totalC, 0)
+	for rem := cfg.Warmup; rem > 0; {
+		n := min(rem, chunkFrames)
+		for _, a := range ba.next(n) {
+			w = math.Max(w+a-totalC, 0)
+		}
+		rem -= n
 	}
 	out := make([]float64, 0, cfg.Frames/every+1)
-	for i := 0; i < cfg.Frames; i++ {
-		w = math.Max(w+aggregate(gens)-totalC, 0)
-		if i%every == 0 {
-			out = append(out, w)
+	frame := 0
+	for rem := cfg.Frames; rem > 0; {
+		n := min(rem, chunkFrames)
+		for _, a := range ba.next(n) {
+			w = math.Max(w+a-totalC, 0)
+			if frame%every == 0 {
+				out = append(out, w)
+			}
+			frame++
 		}
+		rem -= n
 	}
 	return out, nil
 }

@@ -336,7 +336,10 @@ func TestSourceGeneratorsIndependentSeeds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gens := sourceGenerators(z, 3, 7)
+	gens, err := sourceGenerators(z, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
 	a := traffic.Generate(gens[0], 50)
 	b := traffic.Generate(gens[1], 50)
 	same := true

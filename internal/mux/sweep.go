@@ -32,7 +32,12 @@ func RunSweep(cfg Config, buffersCells []float64) ([]Result, error) {
 		}
 	}
 
-	gens := sourceGenerators(cfg.Model, cfg.N, cfg.Seed)
+	gens, err := sourceGenerators(cfg.Model, cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ba := newBlockAggregator(gens)
+	defer ba.release()
 	totalC := float64(cfg.N) * cfg.C
 	totalB := make([]float64, len(bs))
 	for i, b := range bs {
@@ -40,33 +45,39 @@ func RunSweep(cfg Config, buffersCells []float64) ([]Result, error) {
 	}
 
 	w := make([]float64, len(bs))
-	for i := 0; i < cfg.Warmup; i++ {
-		a := aggregate(gens)
-		for j := range w {
-			w[j] = clip(w[j]+a-totalC, totalB[j])
+	for rem := cfg.Warmup; rem > 0; {
+		n := min(rem, chunkFrames)
+		for _, a := range ba.next(n) {
+			for j := range w {
+				w[j] = clip(w[j]+a-totalC, totalB[j])
+			}
 		}
+		rem -= n
 	}
 	results := make([]Result, len(bs))
 	for j := range results {
 		results[j] = Result{Frames: cfg.Frames, InitialW: w[j]}
 	}
 	sumW := make([]float64, len(bs))
-	for i := 0; i < cfg.Frames; i++ {
-		a := aggregate(gens)
-		for j := range w {
-			res := &results[j]
-			res.ArrivedCells += a
-			net := w[j] + a - totalC
-			if loss := net - totalB[j]; loss > 0 {
-				res.LostCells += loss
-				res.LossFrames++
-			}
-			w[j] = clip(net, totalB[j])
-			sumW[j] += w[j]
-			if w[j] > res.MaxWorkload {
-				res.MaxWorkload = w[j]
+	for rem := cfg.Frames; rem > 0; {
+		n := min(rem, chunkFrames)
+		for _, a := range ba.next(n) {
+			for j := range w {
+				res := &results[j]
+				res.ArrivedCells += a
+				net := w[j] + a - totalC
+				if loss := net - totalB[j]; loss > 0 {
+					res.LostCells += loss
+					res.LossFrames++
+				}
+				w[j] = clip(net, totalB[j])
+				sumW[j] += w[j]
+				if w[j] > res.MaxWorkload {
+					res.MaxWorkload = w[j]
+				}
 			}
 		}
+		rem -= n
 	}
 	for j := range results {
 		res := &results[j]

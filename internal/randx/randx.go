@@ -10,6 +10,17 @@ import (
 	"math/rand"
 )
 
+// NewRand is the single RNG construction point for every stochastic path
+// in the repository: callers derive a child seed with package seed's
+// splitmix64 helpers (seed.Derive / seed.Children / seed.DeriveString) and
+// hand it here. Centralising construction keeps the seeding discipline —
+// hash-derived, index-addressed seeds feeding rand.NewSource — uniform
+// across all traffic substrates, so no package can quietly fall back to
+// additive or global-state seeding.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
 // Poisson draws from a Poisson distribution with the given mean. Means up
 // to 30 use Knuth's product method; larger means use PTRS, which is exact
 // and O(1) expected time. Non-positive means yield 0.

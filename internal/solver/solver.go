@@ -164,6 +164,17 @@ type ArgminResult struct {
 // can undercut the incumbent (the numerator grows like m² while V(m) ≤ σ²m²
 // bounds the denominator's help).
 func IntArgmin(f func(int) float64, maxM int, growFactor, stopFactor float64) (ArgminResult, bool) {
+	return IntArgminSlack(f, maxM, growFactor, 0, stopFactor)
+}
+
+// IntArgminSlack is IntArgmin with an additive slack on the argument part
+// of the stopping rule: the scan stops once m ≥ growFactor·best.Arg + slack
+// and f(m) ≥ stopFactor·best.Value. The slack keeps the rule from firing
+// on the shallow early ripples of objectives whose argmin is small but
+// whose surface is locally rough (e.g. CTS objectives of near-periodic
+// ACFs, where an early incumbent at m = 1–3 would otherwise end the scan
+// before the true valley).
+func IntArgminSlack(f func(int) float64, maxM int, growFactor, slack, stopFactor float64) (ArgminResult, bool) {
 	if maxM < 1 {
 		return ArgminResult{}, false
 	}
@@ -174,7 +185,7 @@ func IntArgmin(f func(int) float64, maxM int, growFactor, stopFactor float64) (A
 			best = ArgminResult{Arg: m, Value: v}
 			continue
 		}
-		if float64(m) >= growFactor*float64(best.Arg) && v >= stopFactor*best.Value {
+		if float64(m) >= growFactor*float64(best.Arg)+slack && v >= stopFactor*best.Value {
 			return best, true
 		}
 	}

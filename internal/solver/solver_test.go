@@ -199,4 +199,45 @@ func TestIntArgminInvalidMax(t *testing.T) {
 	if _, ok := IntArgmin(func(int) float64 { return 0 }, 0, 3, 3); ok {
 		t.Fatal("expected ok=false for maxM < 1")
 	}
+	if _, ok := IntArgminSlack(func(int) float64 { return 0 }, 0, 3, 64, 3); ok {
+		t.Fatal("expected ok=false for maxM < 1")
+	}
+}
+
+func TestIntArgminSlackSurvivesEarlyRipple(t *testing.T) {
+	// f has a shallow incumbent at m=1, a plateau high enough to trip the
+	// value test immediately, and the true valley at m=60. Without slack
+	// the rule fires at m=4 (4×1) and misses the valley; a slack of 64
+	// postpones the stop until the scan has passed it.
+	f := func(m int) float64 {
+		switch {
+		case m == 1:
+			return 1
+		case m == 60:
+			return 0.5
+		default:
+			return 3
+		}
+	}
+	res, ok := IntArgmin(f, 10000, 4, 3)
+	if !ok || res.Arg != 1 {
+		t.Fatalf("no-slack scan: got %+v ok=%v, want early stop at incumbent 1", res, ok)
+	}
+	res, ok = IntArgminSlack(f, 10000, 4, 64, 3)
+	if !ok {
+		t.Fatal("slack scan: stopping rule did not fire")
+	}
+	if res.Arg != 60 || res.Value != 0.5 {
+		t.Fatalf("slack scan: got %+v, want argmin 60 value 0.5", res)
+	}
+}
+
+func TestIntArgminIsZeroSlack(t *testing.T) {
+	// IntArgmin must behave exactly as IntArgminSlack with slack 0.
+	f := func(m int) float64 { d := float64(m - 23); return d*d + 1 }
+	a, aok := IntArgmin(f, 10000, 4, 3)
+	b, bok := IntArgminSlack(f, 10000, 4, 0, 3)
+	if a != b || aok != bok {
+		t.Fatalf("IntArgmin %+v ok=%v differs from zero-slack %+v ok=%v", a, aok, b, bok)
+	}
 }

@@ -1,0 +1,143 @@
+package traffic
+
+import "sync"
+
+// Moments is a cached second-order view of a Model: memoised
+// autocorrelations together with their prefix sums, from which the
+// variance-time function V(m) = Var(Σ_{i=1..m} Y_i) is available in O(1)
+// per query after a one-time O(m) extension.
+//
+// The critical-time-scale search, the Bahadur-Rao and large-N asymptotics,
+// admission control and every analytic sweep in this repository evaluate
+// V(m) over the same lag range at many operating points; sharing one
+// Moments per model turns those repeated ACF partial-sum scans into cheap
+// array lookups. The accumulation order matches the incremental
+// core.VarianceOfSum evaluator exactly, so cached and direct computations
+// agree bit for bit.
+//
+// Moments itself implements Model (delegating Name and NewGenerator to the
+// wrapped model), so it can be passed anywhere a Model is expected. It is
+// safe for concurrent use; Mean and Variance are captured at construction,
+// which assumes the wrapped model's moments are immutable — true for every
+// model in this repository.
+type Moments struct {
+	model  Model
+	mean   float64
+	sigma2 float64
+
+	mu sync.Mutex
+	r  []float64 // r[k]: memoised ACF, r[0] = 1
+	s1 []float64 // s1[k] = Σ_{i=1..k} r(i)
+	s2 []float64 // s2[k] = Σ_{i=1..k} i·r(i)
+}
+
+// NewMoments wraps m in a fresh cached view. If m is itself a *Moments the
+// same view is returned rather than stacking a second cache.
+func NewMoments(m Model) *Moments {
+	if mo, ok := m.(*Moments); ok {
+		return mo
+	}
+	return &Moments{
+		model:  m,
+		mean:   m.Mean(),
+		sigma2: m.Variance(),
+		r:      []float64{1},
+		s1:     []float64{0},
+		s2:     []float64{0},
+	}
+}
+
+// Model returns the wrapped model.
+func (mo *Moments) Model() Model { return mo.model }
+
+// Name implements Model.
+func (mo *Moments) Name() string { return mo.model.Name() }
+
+// Mean implements Model.
+func (mo *Moments) Mean() float64 { return mo.mean }
+
+// Variance implements Model.
+func (mo *Moments) Variance() float64 { return mo.sigma2 }
+
+// NewGenerator implements Model by delegating to the wrapped model.
+func (mo *Moments) NewGenerator(seed int64) Generator {
+	return mo.model.NewGenerator(seed)
+}
+
+// extend grows the memo through lag k. Callers must hold mo.mu.
+func (mo *Moments) extend(k int) {
+	for lag := len(mo.r); lag <= k; lag++ {
+		rv := mo.model.ACF(lag)
+		mo.r = append(mo.r, rv)
+		mo.s1 = append(mo.s1, mo.s1[lag-1]+rv)
+		mo.s2 = append(mo.s2, mo.s2[lag-1]+float64(lag)*rv)
+	}
+}
+
+// ACF implements Model with memoisation.
+func (mo *Moments) ACF(k int) float64 {
+	if k < 0 {
+		k = -k
+	}
+	mo.mu.Lock()
+	if k >= len(mo.r) {
+		mo.extend(k)
+	}
+	v := mo.r[k]
+	mo.mu.Unlock()
+	return v
+}
+
+// SumACF returns Σ_{i=1..k} r(i), the ACF prefix sum (0 for k ≤ 0).
+func (mo *Moments) SumACF(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	mo.mu.Lock()
+	if k >= len(mo.r) {
+		mo.extend(k)
+	}
+	v := mo.s1[k]
+	mo.mu.Unlock()
+	return v
+}
+
+// VarSum returns the variance-time function
+//
+//	V(m) = σ²·[m + 2·Σ_{i=1..m−1} (m−i)·r(i)]
+//	     = σ²·[m + 2·(m·s1(m−1) − s2(m−1))]
+//
+// in O(1) once lags through m−1 are cached (0 for m ≤ 0). This is the
+// quantity the rate function I(c,b) = inf_m [b+m(c−μ)]²/2V(m) minimises
+// over, evaluated thousands of times per CTS sweep.
+func (mo *Moments) VarSum(m int) float64 {
+	if m < 1 {
+		return 0
+	}
+	mo.mu.Lock()
+	if m-1 >= len(mo.r) {
+		mo.extend(m - 1)
+	}
+	s1, s2 := mo.s1[m-1], mo.s2[m-1]
+	mo.mu.Unlock()
+	fm := float64(m)
+	return mo.sigma2 * (fm + 2*(fm*s1-s2))
+}
+
+// AggVariance returns Var(X̄_m) = V(m)/m², the variance of the m-frame
+// aggregated mean — the curve whose log-log slope 2H−2 defines long-range
+// dependence on a variance-time plot.
+func (mo *Moments) AggVariance(m int) float64 {
+	if m < 1 {
+		return 0
+	}
+	fm := float64(m)
+	return mo.VarSum(m) / (fm * fm)
+}
+
+// CachedLags reports how many lags are currently memoised (diagnostics).
+func (mo *Moments) CachedLags() int {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	return len(mo.r) - 1
+}

@@ -1,0 +1,141 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+)
+
+// geomModel is an AR(1)-like analytic model with r(k) = a^k, counting ACF
+// evaluations so the memoisation can be asserted directly.
+type geomModel struct {
+	a     float64
+	calls int
+}
+
+func (m *geomModel) Name() string      { return "geom" }
+func (m *geomModel) Mean() float64     { return 500 }
+func (m *geomModel) Variance() float64 { return 5000 }
+func (m *geomModel) ACF(k int) float64 {
+	if k < 0 {
+		k = -k
+	}
+	m.calls++
+	return math.Pow(m.a, float64(k))
+}
+func (m *geomModel) NewGenerator(seed int64) Generator {
+	return GeneratorFunc(func() float64 { return m.Mean() })
+}
+
+// fgnModel has the exact-LRD ACF r(k) = ½(|k+1|^2H − 2|k|^2H + |k−1|^2H),
+// whose V(m) has the closed form σ²·m^{2H}.
+type fgnModel struct{ h float64 }
+
+func (m fgnModel) Name() string      { return "fgn" }
+func (m fgnModel) Mean() float64     { return 500 }
+func (m fgnModel) Variance() float64 { return 5000 }
+func (m fgnModel) ACF(k int) float64 {
+	if k < 0 {
+		k = -k
+	}
+	if k == 0 {
+		return 1
+	}
+	p := func(x float64) float64 { return math.Pow(x, 2*m.h) }
+	fk := float64(k)
+	return 0.5 * (p(fk+1) - 2*p(fk) + p(fk-1))
+}
+func (m fgnModel) NewGenerator(seed int64) Generator {
+	return GeneratorFunc(func() float64 { return m.Mean() })
+}
+
+// directVarSum is the O(m) textbook evaluation
+// V(m) = σ²[m + 2·Σ_{i=1..m−1} (m−i)·r(i)].
+func directVarSum(m Model, n int) float64 {
+	fm := float64(n)
+	var s float64
+	for i := 1; i < n; i++ {
+		s += (fm - float64(i)) * m.ACF(i)
+	}
+	return m.Variance() * (fm + 2*s)
+}
+
+func TestMomentsVarSumMatchesDirectSum(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		m    Model
+	}{
+		{"geometric", &geomModel{a: 0.9}},
+		{"fgn", fgnModel{h: 0.85}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			mo := NewMoments(tc.m)
+			for lag := 1; lag <= 1000; lag++ {
+				got := mo.VarSum(lag)
+				want := directVarSum(tc.m, lag)
+				if math.Abs(got-want) > 1e-9*math.Abs(want) {
+					t.Fatalf("V(%d) = %v, direct sum %v", lag, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestMomentsVarSumFGNClosedForm(t *testing.T) {
+	h := 0.85
+	m := fgnModel{h: h}
+	mo := NewMoments(m)
+	for _, lag := range []int{1, 2, 10, 100, 1000} {
+		want := m.Variance() * math.Pow(float64(lag), 2*h)
+		if got := mo.VarSum(lag); math.Abs(got-want) > 1e-8*want {
+			t.Fatalf("V(%d) = %v, closed form σ²m^2H = %v", lag, got, want)
+		}
+	}
+}
+
+func TestMomentsMemoisesACF(t *testing.T) {
+	m := &geomModel{a: 0.5}
+	mo := NewMoments(m)
+	mo.VarSum(1001) // extends through lag 1000
+	calls := m.calls
+	if calls > 1000 {
+		t.Fatalf("extension cost %d ACF calls, want ≤ 1000", calls)
+	}
+	// Every further query in range must be a pure lookup.
+	for lag := 1; lag <= 1001; lag++ {
+		mo.VarSum(lag)
+		mo.ACF(lag - 1)
+		mo.SumACF(lag - 1)
+	}
+	if m.calls != calls {
+		t.Fatalf("cached queries re-evaluated the ACF (%d → %d calls)", calls, m.calls)
+	}
+	if got := mo.CachedLags(); got < 1000 {
+		t.Fatalf("CachedLags() = %d, want ≥ 1000", got)
+	}
+}
+
+func TestMomentsModelDelegation(t *testing.T) {
+	m := &geomModel{a: 0.9}
+	mo := NewMoments(m)
+	if mo.Name() != m.Name() || mo.Mean() != m.Mean() || mo.Variance() != m.Variance() {
+		t.Fatal("Moments does not delegate Name/Mean/Variance")
+	}
+	if mo.Model() != Model(m) {
+		t.Fatal("Model() lost the wrapped model")
+	}
+	if mo.NewGenerator(1).NextFrame() != m.Mean() {
+		t.Fatal("NewGenerator does not delegate")
+	}
+	if NewMoments(mo) != mo {
+		t.Fatal("NewMoments stacked a second cache on a *Moments")
+	}
+	if mo.ACF(-5) != mo.ACF(5) {
+		t.Fatal("ACF not symmetric in lag")
+	}
+	if mo.VarSum(0) != 0 || mo.AggVariance(0) != 0 {
+		t.Fatal("non-positive horizons should yield 0")
+	}
+	if got, want := mo.AggVariance(7), mo.VarSum(7)/49; got != want {
+		t.Fatalf("AggVariance(7) = %v, want V(7)/49 = %v", got, want)
+	}
+}

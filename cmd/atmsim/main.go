@@ -6,11 +6,14 @@
 //
 //	atmsim [-models z:0.975] [-c 538] [-n 30] [-buffers 0,2,5,10,20]
 //	       [-frames 100000] [-reps 8] [-seed 1] [-workers 0] [-bop]
+//	       [-telemetry ADDR]
 //
 // With -bop the infinite-buffer overflow probability P(W > x) is measured
 // instead, at the workload levels implied by -buffers. CLR replications
 // fan out over -workers cores (default: all); the estimates are
-// bit-identical for every worker count.
+// bit-identical for every worker count. With -telemetry ADDR (e.g. ":6060")
+// an HTTP endpoint serves live metrics (/metrics, /vars) and /debug/pprof
+// profiles for the duration of the run; serving never perturbs results.
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"repro/internal/modelspec"
 	"repro/internal/mux"
 	"repro/internal/runner"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -40,12 +44,21 @@ func main() {
 		seed    = flag.Int64("seed", 1, "master seed")
 		workers = flag.Int("workers", 0, "parallel replication workers (0 = all cores, 1 = serial)")
 		bop     = flag.Bool("bop", false, "measure infinite-buffer P(W > x) instead of finite-buffer CLR")
+		telem   = flag.String("telemetry", "", "serve live metrics/pprof on this address (e.g. :6060); empty = off")
 	)
 	flag.Parse()
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
-	eng := runner.New(*workers)
+	eng := runner.NewWithRegistry(*workers, telemetry.Default)
+	if *telem != "" {
+		srv, addr, err := telemetry.Serve(*telem, telemetry.Default)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "atmsim: telemetry on http://%s (/metrics, /vars, /debug/pprof/)\n", addr)
+	}
 
 	ms, err := modelspec.ParseList(*specs)
 	if err != nil {

@@ -8,11 +8,21 @@
 //
 //	repro [-exp all|table1,fig1,...,fig10] [-reps N] [-frames N]
 //	      [-seed N] [-out DIR] [-csv] [-workers N] [-checkpoint FILE]
+//	      [-telemetry ADDR]
 //
 // Simulation replications fan out over -workers cores (default: all);
 // results are bit-identical for every worker count. With -checkpoint,
 // completed replications are persisted so an interrupted run (Ctrl-C)
 // resumes where it stopped instead of restarting.
+//
+// Observability: with -out DIR the run writes DIR/manifest.jsonl — a
+// structured JSONL record of the run (seed, git revision, config, per-stage
+// wall times, per-series results with CLR confidence bounds, wall/CPU
+// totals and the final metrics snapshot) that telemetry.ReadManifest
+// decodes. With -telemetry ADDR (e.g. ":6060") an HTTP endpoint serves
+// live metrics (/metrics Prometheus text, /vars JSON) and /debug/pprof
+// profiles while the run progresses. Neither sink perturbs results:
+// fixed-seed outputs are bit-identical with telemetry on or off.
 package main
 
 import (
@@ -28,6 +38,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/runner"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -36,19 +47,24 @@ func main() {
 		reps    = flag.Int("reps", experiments.DefaultSim.Reps, "simulation replications (paper: 60)")
 		frames  = flag.Int("frames", experiments.DefaultSim.Frames, "frames per replication (paper: 500000)")
 		seed    = flag.Int64("seed", experiments.DefaultSim.Seed, "master random seed")
-		outDir  = flag.String("out", "", "directory for .txt/.csv outputs (default: stdout only)")
+		outDir  = flag.String("out", "", "directory for .txt/.csv outputs and the run manifest (default: stdout only)")
 		csv     = flag.Bool("csv", false, "also print CSV to stdout")
 		workers = flag.Int("workers", 0, "parallel simulation workers (0 = all cores, 1 = serial)")
 		ckpt    = flag.String("checkpoint", "", "checkpoint file: persist finished replications and resume interrupted runs")
+		telem   = flag.String("telemetry", "", "serve live metrics/pprof on this address (e.g. :6060); empty = off")
 	)
 	flag.Parse()
+	start := time.Now()
 
 	// Interrupts cancel in-flight replications cleanly so the checkpoint
 	// stays consistent and the run can be resumed.
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
-	eng := runner.New(*workers)
+	// The engine records into the process-wide default registry so runner
+	// progress, mux chunk metrics and experiment stage timers share the
+	// exposition endpoint and manifest snapshot.
+	eng := runner.NewWithRegistry(*workers, telemetry.Default)
 	if *ckpt != "" {
 		c, err := runner.OpenCheckpoint(*ckpt)
 		if err != nil {
@@ -60,8 +76,18 @@ func main() {
 		}
 		eng.SetCheckpoint(c)
 	}
+	// stopLog flushes a final stats line, so short runs still report totals.
 	stopLog := eng.LogProgress(5*time.Second, os.Stderr)
 	defer stopLog()
+
+	if *telem != "" {
+		srv, addr, err := telemetry.Serve(*telem, telemetry.Default)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "repro: telemetry on http://%s (/metrics, /vars, /debug/pprof/)\n", addr)
+	}
 
 	sim := experiments.SimConfig{
 		Reps: *reps, Frames: *frames, Seed: *seed,
@@ -70,8 +96,26 @@ func main() {
 	if err := sim.Validate(); err != nil {
 		fatal(err)
 	}
+
+	var manifest *telemetry.ManifestWriter
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+		var err error
+		manifest, err = telemetry.CreateManifest(filepath.Join(*outDir, "manifest.jsonl"), telemetry.ManifestHeader{
+			Tool:  "repro",
+			Args:  os.Args[1:],
+			Start: start.Format(time.RFC3339Nano),
+			Seed:  *seed,
+			Config: map[string]string{
+				"exp":     *exps,
+				"reps":    fmt.Sprint(*reps),
+				"frames":  fmt.Sprint(*frames),
+				"workers": fmt.Sprint(eng.Workers()),
+			},
+		})
+		if err != nil {
 			fatal(err)
 		}
 	}
@@ -87,11 +131,15 @@ func main() {
 	selected := func(id string) bool { return all || want[id] }
 
 	if selected("table1") {
+		t0 := time.Now()
 		tab, err := experiments.Table1()
 		if err != nil {
 			fatal(err)
 		}
 		emitText("table1", tab.String(), *outDir)
+		if manifest != nil {
+			manifest.Stage(telemetry.StageRecord{ID: "table1", WallSeconds: time.Since(t0).Seconds()})
+		}
 	}
 
 	type driver struct {
@@ -137,7 +185,15 @@ func main() {
 			fatal(fmt.Errorf("interrupted (rerun with -checkpoint to resume): %w", context.Cause(ctx)))
 		}
 		fmt.Fprintf(os.Stderr, "running %s...\n", d.id)
+		t0 := time.Now()
 		results, err := d.run()
+		if manifest != nil {
+			rec := telemetry.StageRecord{ID: d.id, WallSeconds: time.Since(t0).Seconds()}
+			if err != nil {
+				rec.Err = err.Error()
+			}
+			manifest.Stage(rec)
+		}
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", d.id, err))
 		}
@@ -152,11 +208,36 @@ func main() {
 					fatal(err)
 				}
 			}
+			if manifest != nil {
+				manifest.Result(resultRecord(d.id, r))
+			}
 		}
 	}
-	if st := eng.Stats(); st.RepsTotal > 0 {
-		fmt.Fprintln(os.Stderr, st.String())
+	stopLog()
+	if manifest != nil {
+		err := manifest.Close(telemetry.RunSummary{
+			WallSeconds: time.Since(start).Seconds(),
+			CPUSeconds:  telemetry.CPUSeconds(),
+			End:         time.Now().Format(time.RFC3339Nano),
+			Metrics:     telemetry.Default.Snapshot(),
+		})
+		if err != nil {
+			fatal(err)
+		}
 	}
+}
+
+// resultRecord converts an experiment result into its manifest form,
+// preserving the replication confidence bounds that the rendered tables
+// drop.
+func resultRecord(stage string, r *experiments.Result) telemetry.ResultRecord {
+	rec := telemetry.ResultRecord{Stage: stage, ID: r.ID, Title: r.Title}
+	for _, s := range r.Series {
+		rec.Series = append(rec.Series, telemetry.SeriesRecord{
+			Label: s.Label, X: s.X, Y: s.Y, Lo: s.Lo, Hi: s.Hi,
+		})
+	}
+	return rec
 }
 
 func emitText(id, text, outDir string) {

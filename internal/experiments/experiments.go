@@ -18,13 +18,27 @@ import (
 
 	"repro/internal/models"
 	"repro/internal/runner"
+	"repro/internal/telemetry"
 )
 
-// Series is one labelled curve of an experiment.
+// Series is one labelled curve of an experiment. Simulation-backed series
+// also carry replication confidence bounds (Lo/Hi parallel to Y) so run
+// manifests can record CLR ± CI, not just the point estimate; analytic
+// series leave them nil. Render/CSV show the point estimates only.
 type Series struct {
 	Label string
 	X     []float64
 	Y     []float64
+	Lo    []float64
+	Hi    []float64
+}
+
+// stage times one experiment driver into the telemetry.Default stage-timer
+// family: defer stage("fig8")() as the driver's first statement. The
+// per-stage wall times surface on the -telemetry endpoint and in run
+// manifests, pricing each figure of a sweep individually.
+func stage(id string) func() {
+	return telemetry.Default.Timer("experiments_stage_seconds", telemetry.L("stage", id)).Start()
 }
 
 // Result is one table or figure panel.

@@ -22,7 +22,18 @@ import (
 
 	"repro/internal/fft"
 	"repro/internal/randx"
+	"repro/internal/telemetry"
 	"repro/internal/traffic"
+)
+
+// Eigenvalue-cache effectiveness counters: one miss per distinct
+// (model, block length) pays the circulant FFT; every further generator of
+// the same model is a hit. An N-source multiplexer run should record N−1
+// hits per miss — regression here means the spectrum is being recomputed
+// per source again.
+var (
+	metEigHits   = telemetry.Default.Counter("fgn_eig_cache_hits_total")
+	metEigMisses = telemetry.Default.Counter("fgn_eig_cache_misses_total")
 )
 
 // Model is a fractional Gaussian noise frame-size process with mean μ,
@@ -157,8 +168,10 @@ func (m *Model) eigenvaluesCached(n int) []float64 {
 	m.eigMu.Lock()
 	defer m.eigMu.Unlock()
 	if v, ok := m.eigCache[n]; ok {
+		metEigHits.Inc()
 		return v
 	}
+	metEigMisses.Inc()
 	if m.eigCache == nil {
 		m.eigCache = make(map[int][]float64)
 	}

@@ -3,7 +3,29 @@ package mux
 import (
 	"sync"
 
+	"repro/internal/telemetry"
 	"repro/internal/traffic"
+)
+
+// Package-level telemetry, recorded into telemetry.Default so every
+// simulation in the process aggregates into one place (exposed by the
+// CLIs' -telemetry endpoint and run manifests). All metrics are
+// observational: they never touch the random streams, so fixed-seed
+// results are bit-identical whether or not anything reads them.
+//
+// Granularity: counters are bumped once per chunk (≤ 4096 frames) or once
+// per run, never per frame, and the fill/drain timers cost two time.Now
+// calls per chunk — noise against the ~10⁵ frame steps a chunk performs.
+var (
+	metFrames       = telemetry.Default.Counter("mux_frames_total")
+	metCellsArrived = telemetry.Default.FloatCounter("mux_cells_arrived_total")
+	metCellsLost    = telemetry.Default.FloatCounter("mux_cells_lost_total")
+	metRuns         = telemetry.Default.Counter("mux_runs_total")
+	metOccupancy    = telemetry.Default.Histogram("mux_buffer_occupancy_cells")
+	metFillTime     = telemetry.Default.Timer("mux_chunk_fill_seconds")
+	metDrainTime    = telemetry.Default.Timer("mux_chunk_drain_seconds")
+	metPoolGets     = telemetry.Default.Counter("mux_chunk_pool_gets_total")
+	metPoolMisses   = telemetry.Default.Counter("mux_chunk_pool_misses_total")
 )
 
 // chunkFrames is the streaming block length used by every simulation loop
@@ -19,12 +41,21 @@ const chunkFrames = 4096
 // chunkPool recycles chunk buffers across runs so sweeps allocate a
 // constant number of buffers regardless of horizon. The pool stores
 // *[]float64 (not []float64) so Put does not allocate a fresh interface
-// box for the slice header on every cycle.
+// box for the slice header on every cycle. The gets/misses counter pair
+// measures reuse: hits = gets − misses, and a healthy steady state shows
+// misses plateauing while gets keep growing (asserted by TestChunkPoolReuse).
 var chunkPool = sync.Pool{
 	New: func() interface{} {
+		metPoolMisses.Inc()
 		b := make([]float64, chunkFrames)
 		return &b
 	},
+}
+
+// getChunk draws a pooled chunk buffer, counting the request.
+func getChunk() *[]float64 {
+	metPoolGets.Inc()
+	return chunkPool.Get().(*[]float64)
 }
 
 // blockAggregator streams the aggregate arrival process of a set of
@@ -39,7 +70,9 @@ type blockAggregator struct {
 }
 
 // newBlockAggregator wraps gens for block streaming, using each
-// generator's native Fill where it has one.
+// generator's native Fill where it has one. Callers must pair every
+// construction with a deferred release so the pooled buffers are returned
+// even when the enclosing simulation exits early (error or panic mid-run).
 func newBlockAggregator(gens []traffic.Generator) *blockAggregator {
 	bs := make([]traffic.BlockGenerator, len(gens))
 	for i, g := range gens {
@@ -47,8 +80,8 @@ func newBlockAggregator(gens []traffic.Generator) *blockAggregator {
 	}
 	return &blockAggregator{
 		gens: bs,
-		agg:  chunkPool.Get().(*[]float64),
-		tmp:  chunkPool.Get().(*[]float64),
+		agg:  getChunk(),
+		tmp:  getChunk(),
 	}
 }
 
@@ -56,6 +89,7 @@ func newBlockAggregator(gens []traffic.Generator) *blockAggregator {
 // (n ≤ chunkFrames). The returned slice is owned by the aggregator and
 // valid until the next call to next or release.
 func (b *blockAggregator) next(n int) []float64 {
+	defer metFillTime.Start()()
 	agg := (*b.agg)[:n]
 	tmp := (*b.tmp)[:n]
 	for i := range agg {
@@ -67,6 +101,7 @@ func (b *blockAggregator) next(n int) []float64 {
 			agg[i] += v
 		}
 	}
+	metFrames.Add(int64(n))
 	return agg
 }
 

@@ -74,7 +74,9 @@ func RunMix(cfg MixConfig) (Result, error) {
 	var sumW float64
 	for rem := cfg.Frames; rem > 0; {
 		n := min(rem, chunkFrames)
-		for _, a := range ba.next(n) {
+		chunk := ba.next(n)
+		stopDrain := metDrainTime.Start()
+		for _, a := range chunk {
 			res.ArrivedCells += a
 			net := w + a - cfg.TotalC
 			if loss := net - cfg.TotalB; loss > 0 {
@@ -87,6 +89,8 @@ func RunMix(cfg MixConfig) (Result, error) {
 				res.MaxWorkload = w
 			}
 		}
+		stopDrain()
+		metOccupancy.Observe(w)
 		rem -= n
 	}
 	res.FinalW = w
@@ -94,5 +98,8 @@ func RunMix(cfg MixConfig) (Result, error) {
 	if res.ArrivedCells > 0 {
 		res.CLR = res.LostCells / res.ArrivedCells
 	}
+	metRuns.Inc()
+	metCellsArrived.Add(res.ArrivedCells)
+	metCellsLost.Add(res.LostCells)
 	return res, nil
 }

@@ -104,7 +104,9 @@ func Run(cfg Config) (Result, error) {
 	var sumW float64
 	for rem := cfg.Frames; rem > 0; {
 		n := min(rem, chunkFrames)
-		for _, a := range ba.next(n) {
+		chunk := ba.next(n)
+		stopDrain := metDrainTime.Start()
+		for _, a := range chunk {
 			res.ArrivedCells += a
 			net := w + a - totalC
 			if loss := net - totalB; loss > 0 {
@@ -117,6 +119,8 @@ func Run(cfg Config) (Result, error) {
 				res.MaxWorkload = w
 			}
 		}
+		stopDrain()
+		metOccupancy.Observe(w)
 		rem -= n
 	}
 	res.FinalW = w
@@ -124,6 +128,9 @@ func Run(cfg Config) (Result, error) {
 	if res.ArrivedCells > 0 {
 		res.CLR = res.LostCells / res.ArrivedCells
 	}
+	metRuns.Inc()
+	metCellsArrived.Add(res.ArrivedCells)
+	metCellsLost.Add(res.LostCells)
 	return res, nil
 }
 
@@ -267,7 +274,9 @@ func RunBOP(cfg BOPConfig) (BOPResult, error) {
 	res := BOPResult{Thresholds: thr}
 	for rem := cfg.Frames; rem > 0; {
 		n := min(rem, chunkFrames)
-		for _, a := range ba.next(n) {
+		chunk := ba.next(n)
+		stopDrain := metDrainTime.Start()
+		for _, a := range chunk {
 			w = math.Max(w+a-totalC, 0)
 			if w > res.MaxW {
 				res.MaxW = w
@@ -282,8 +291,11 @@ func RunBOP(cfg BOPConfig) (BOPResult, error) {
 				}
 			}
 		}
+		stopDrain()
+		metOccupancy.Observe(w)
 		rem -= n
 	}
+	metRuns.Inc()
 	res.Prob = make([]float64, len(thr))
 	for i, c := range counts {
 		res.Prob[i] = float64(c) / float64(cfg.Frames)

@@ -61,7 +61,9 @@ func RunSweep(cfg Config, buffersCells []float64) ([]Result, error) {
 	sumW := make([]float64, len(bs))
 	for rem := cfg.Frames; rem > 0; {
 		n := min(rem, chunkFrames)
-		for _, a := range ba.next(n) {
+		chunk := ba.next(n)
+		stopDrain := metDrainTime.Start()
+		for _, a := range chunk {
 			for j := range w {
 				res := &results[j]
 				res.ArrivedCells += a
@@ -77,6 +79,10 @@ func RunSweep(cfg Config, buffersCells []float64) ([]Result, error) {
 				}
 			}
 		}
+		stopDrain()
+		// One occupancy sample per chunk, from the largest buffer in the
+		// sweep — the recursion whose workload the asymptotics study.
+		metOccupancy.Observe(w[len(w)-1])
 		rem -= n
 	}
 	for j := range results {
@@ -86,6 +92,13 @@ func RunSweep(cfg Config, buffersCells []float64) ([]Result, error) {
 		if res.ArrivedCells > 0 {
 			res.CLR = res.LostCells / res.ArrivedCells
 		}
+	}
+	metRuns.Inc()
+	if len(results) > 0 {
+		// Arrivals are shared across the coupled recursions; count them
+		// once. Losses differ per buffer; count the largest buffer's.
+		metCellsArrived.Add(results[0].ArrivedCells)
+		metCellsLost.Add(results[len(results)-1].LostCells)
 	}
 	return results, nil
 }

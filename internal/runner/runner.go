@@ -14,9 +14,13 @@
 //     replication is persisted keyed by (job fingerprint, rep index); an
 //     interrupted full-scale run resumes instead of restarting.
 //
-// The engine also keeps atomic progress counters (replications done, work
-// units such as simulated frames, ETA) exposed through Stats snapshots and
-// an optional periodic logger.
+// The engine's progress counters (jobs, replications done, work units such
+// as simulated frames) are registry-backed telemetry metrics; Stats remains
+// the snapshot view over them, and an optional periodic logger renders it.
+// New engines record into a private registry so concurrently-running
+// engines (e.g. in tests) stay independent; CLIs pass telemetry.Default via
+// NewWithRegistry so the counters surface on the -telemetry endpoint and in
+// run manifests.
 package runner
 
 import (
@@ -30,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/seed"
+	"repro/internal/telemetry"
 )
 
 // Spec identifies one job: a batch of independent replications of the same
@@ -87,26 +92,54 @@ type Engine struct {
 	start     time.Time
 	startOnce sync.Once
 
-	jobs, jobsDone       atomic.Int64
-	repsTotal, repsDone  atomic.Int64
-	repsResumed          atomic.Int64
-	units                atomic.Int64
+	// Progress counters are registry-backed telemetry metrics (atomic
+	// adds on the hot path, exposable over HTTP); Stats() is a view over
+	// them.
+	reg                 *telemetry.Registry
+	jobs, jobsDone      *telemetry.Counter
+	repsTotal, repsDone *telemetry.Counter
+	repsResumed         *telemetry.Counter
+	units               *telemetry.Counter
 
 	logMu   sync.Mutex
 	logStop chan struct{}
 }
 
-// New builds an engine with the given parallelism. workers ≤ 0 selects
+// New builds an engine with the given parallelism, recording progress into
+// a fresh private telemetry registry. workers ≤ 0 selects
 // runtime.NumCPU(); workers = 1 is the serial path.
 func New(workers int) *Engine {
+	return NewWithRegistry(workers, nil)
+}
+
+// NewWithRegistry builds an engine that records its progress counters in
+// reg — pass telemetry.Default to surface them on a process's exposition
+// endpoint and manifests. A nil reg gets a private registry. Two engines
+// sharing one registry share (sum into) the same counters.
+func NewWithRegistry(workers int, reg *telemetry.Registry) *Engine {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	return &Engine{workers: workers}
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	return &Engine{
+		workers:     workers,
+		reg:         reg,
+		jobs:        reg.Counter("runner_jobs_total"),
+		jobsDone:    reg.Counter("runner_jobs_done_total"),
+		repsTotal:   reg.Counter("runner_reps_total"),
+		repsDone:    reg.Counter("runner_reps_done_total"),
+		repsResumed: reg.Counter("runner_reps_resumed_total"),
+		units:       reg.Counter("runner_units_total"),
+	}
 }
 
 // Workers reports the engine's parallelism.
 func (e *Engine) Workers() int { return e.workers }
+
+// Registry returns the telemetry registry the engine records into.
+func (e *Engine) Registry() *telemetry.Registry { return e.reg }
 
 // SetCheckpoint attaches a checkpoint store; completed replications are
 // persisted to it and replayed on the next run. Call before Run.
@@ -128,8 +161,12 @@ type Stats struct {
 }
 
 func (s Stats) String() string {
+	// A finished batch reads "done" — never "?" or a stale extrapolation.
 	eta := "?"
-	if s.ETA > 0 {
+	switch {
+	case s.RepsTotal > 0 && s.RepsDone >= s.RepsTotal:
+		eta = "done"
+	case s.ETA > 0:
 		eta = s.ETA.Round(time.Second).String()
 	}
 	return fmt.Sprintf("runner: %d/%d reps (%d resumed), %d jobs done, %d units, elapsed %s, eta %s",
@@ -137,16 +174,17 @@ func (s Stats) String() string {
 		s.Elapsed.Round(time.Second), eta)
 }
 
-// Stats returns a snapshot of the progress counters.
+// Stats returns a snapshot of the progress counters (a view over the
+// engine's registry-backed telemetry metrics).
 func (e *Engine) Stats() Stats {
 	st := Stats{
 		Workers:     e.workers,
-		Jobs:        e.jobs.Load(),
-		JobsDone:    e.jobsDone.Load(),
-		RepsTotal:   e.repsTotal.Load(),
-		RepsDone:    e.repsDone.Load(),
-		RepsResumed: e.repsResumed.Load(),
-		Units:       e.units.Load(),
+		Jobs:        e.jobs.Value(),
+		JobsDone:    e.jobsDone.Value(),
+		RepsTotal:   e.repsTotal.Value(),
+		RepsDone:    e.repsDone.Value(),
+		RepsResumed: e.repsResumed.Value(),
+		Units:       e.units.Value(),
 	}
 	if !e.start.IsZero() {
 		st.Elapsed = time.Since(e.start)
@@ -163,7 +201,9 @@ func (e *Engine) Stats() Stats {
 
 // LogProgress starts a goroutine that writes a Stats line to w every
 // interval until the returned stop function is called. A nil w logs to
-// stderr.
+// stderr. Stopping flushes one final Stats line (when any work ran) so
+// runs shorter than the interval still report their totals instead of
+// finishing silently.
 func (e *Engine) LogProgress(interval time.Duration, w io.Writer) (stop func()) {
 	if w == nil {
 		w = os.Stderr
@@ -194,6 +234,9 @@ func (e *Engine) LogProgress(interval time.Duration, w io.Writer) (stop func()) 
 			e.logMu.Lock()
 			e.logStop = nil
 			e.logMu.Unlock()
+			if st := e.Stats(); st.RepsTotal > 0 {
+				fmt.Fprintln(w, st.String())
+			}
 		})
 	}
 }

@@ -1,0 +1,6 @@
+//go:build !unix
+
+package telemetry
+
+// CPUSeconds is unavailable off unix; manifests record 0 there.
+func CPUSeconds() float64 { return 0 }

@@ -1,0 +1,20 @@
+//go:build unix
+
+package telemetry
+
+import "syscall"
+
+// CPUSeconds returns the process's consumed CPU time (user + system,
+// summed across all threads) in seconds, for run-manifest summaries. The
+// ratio CPUSeconds/wall-clock is the effective parallelism of a run.
+func CPUSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return tvSeconds(ru.Utime) + tvSeconds(ru.Stime)
+}
+
+func tvSeconds(tv syscall.Timeval) float64 {
+	return float64(tv.Sec) + float64(tv.Usec)/1e6
+}

@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func testHeader() ManifestHeader {
+	return ManifestHeader{
+		Tool:   "repro",
+		Args:   []string{"-exp", "fig8", "-seed", "7"},
+		Start:  time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC).Format(time.RFC3339Nano),
+		Seed:   7,
+		Config: map[string]string{"reps": "2", "frames": "3000"},
+	}
+}
+
+// TestManifestRoundTrip proves the schema round-trips: everything written
+// through ManifestWriter decodes back structurally identical.
+func TestManifestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.jsonl")
+	w, err := CreateManifest(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := []StageRecord{
+		{ID: "fig8", WallSeconds: 1.25},
+		{ID: "fig9", WallSeconds: 2.5, Err: "interrupted"},
+	}
+	for _, s := range stages {
+		if err := w.Stage(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	result := ResultRecord{
+		Stage: "fig8", ID: "fig8a", Title: "Simulated CLR of V^v",
+		Series: []SeriesRecord{{
+			Label: "V^0.5",
+			X:     []float64{0, 1, 2},
+			Y:     []float64{1e-5, 3e-6, 1e-6},
+			Lo:    []float64{8e-6, 2e-6, 5e-7},
+			Hi:    []float64{1.2e-5, 4e-6, 1.5e-6},
+		}},
+	}
+	if err := w.Result(result); err != nil {
+		t.Fatal(err)
+	}
+	summary := RunSummary{
+		WallSeconds: 3.75, CPUSeconds: 12.5,
+		End:     time.Date(2026, 8, 6, 12, 0, 4, 0, time.UTC).Format(time.RFC3339Nano),
+		Metrics: []Snapshot{{Name: "mux_frames_total", Kind: KindCounter, Value: 6000}},
+	}
+	if err := w.Close(summary); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Header.SchemaVersion != ManifestSchemaVersion {
+		t.Errorf("schema version = %d, want %d", m.Header.SchemaVersion, ManifestSchemaVersion)
+	}
+	if m.Header.Tool != "repro" || m.Header.Seed != 7 || m.Header.Config["frames"] != "3000" {
+		t.Errorf("header did not round-trip: %+v", m.Header)
+	}
+	if m.Header.GoVersion == "" {
+		t.Error("GoVersion not auto-filled")
+	}
+	if m.Header.GitRevision == "" {
+		t.Error("GitRevision not auto-filled (want at least \"unknown\")")
+	}
+	if !reflect.DeepEqual(m.Stages, stages) {
+		t.Errorf("stages did not round-trip:\n got %+v\nwant %+v", m.Stages, stages)
+	}
+	if len(m.Results) != 1 || !reflect.DeepEqual(m.Results[0], result) {
+		t.Errorf("result did not round-trip:\n got %+v\nwant %+v", m.Results, result)
+	}
+	if m.Summary == nil || !reflect.DeepEqual(*m.Summary, summary) {
+		t.Errorf("summary did not round-trip:\n got %+v\nwant %+v", m.Summary, summary)
+	}
+}
+
+// An interrupted run leaves a header (and possibly stages) with no
+// summary; that must still decode.
+func TestManifestInterrupted(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.jsonl")
+	w, err := CreateManifest(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Stage(StageRecord{ID: "fig8", WallSeconds: 1}); err != nil {
+		t.Fatal(err)
+	}
+	w.f.Close() // simulate the process dying before Close
+
+	m, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Summary != nil {
+		t.Error("interrupted manifest should have nil summary")
+	}
+	if len(m.Stages) != 1 {
+		t.Errorf("stages = %d, want 1", len(m.Stages))
+	}
+}
+
+func TestManifestRejectsGarbageAndFuture(t *testing.T) {
+	dir := t.TempDir()
+	noHeader := filepath.Join(dir, "nh.jsonl")
+	os.WriteFile(noHeader, []byte(`{"type":"stage","stage":{"id":"x"}}`+"\n"), 0o644)
+	if _, err := ReadManifest(noHeader); err == nil {
+		t.Error("manifest without header should fail to decode")
+	}
+	future := filepath.Join(dir, "fut.jsonl")
+	os.WriteFile(future, []byte(`{"type":"header","header":{"schema_version":999,"tool":"x","start":"t"}}`+"\n"), 0o644)
+	if _, err := ReadManifest(future); err == nil {
+		t.Error("manifest with future schema version should fail to decode")
+	}
+	garbage := filepath.Join(dir, "g.jsonl")
+	os.WriteFile(garbage, []byte("not json\n"), 0o644)
+	if _, err := ReadManifest(garbage); err == nil {
+		t.Error("non-JSON manifest should fail to decode")
+	}
+}

@@ -1,0 +1,309 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeFloatCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	if r.Counter("c") != c {
+		t.Error("same name did not return the same counter")
+	}
+	f := r.FloatCounter("f")
+	f.Add(0.5)
+	f.Add(1.25)
+	if got := f.Value(); got != 1.75 {
+		t.Errorf("float counter = %v, want 1.75", got)
+	}
+	g := r.Gauge("g")
+	g.Set(3)
+	g.Add(-1.5)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestLabeledFamilies(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("stage", L("id", "fig8"))
+	b := r.Counter("stage", L("id", "fig9"))
+	if a == b {
+		t.Fatal("different labels returned the same counter")
+	}
+	// Label order must not matter.
+	x := r.Counter("multi", L("a", "1"), L("b", "2"))
+	y := r.Counter("multi", L("b", "2"), L("a", "1"))
+	if x != y {
+		t.Error("label order changed metric identity")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Error("requesting a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m")
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n")
+	f := r.FloatCounter("x")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				f.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("concurrent counter = %d, want 8000", c.Value())
+	}
+	if f.Value() != 4000 {
+		t.Errorf("concurrent float counter = %v, want 4000", f.Value())
+	}
+}
+
+// exactQuantile is the nearest-rank sorted-slice quantile the histogram
+// approximates: the ceil(q·n)-th smallest element.
+func exactQuantile(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// TestHistogramQuantiles checks the streaming quantile estimates against
+// exact sorted-slice quantiles within the documented RelativeError bound,
+// across distributions with very different shapes and scales.
+func TestHistogramQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dists := map[string]func() float64{
+		"uniform":   func() float64 { return rng.Float64() },
+		"exp":       func() float64 { return rng.ExpFloat64() * 1e-3 },
+		"lognormal": func() float64 { return math.Exp(rng.NormFloat64() * 2) },
+		"heavy":     func() float64 { return math.Pow(rng.Float64(), -1.5) },
+	}
+	for name, draw := range dists {
+		t.Run(name, func(t *testing.T) {
+			h := NewHistogram()
+			xs := make([]float64, 20000)
+			for i := range xs {
+				xs[i] = draw()
+				h.Observe(xs[i])
+			}
+			sort.Float64s(xs)
+			for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999} {
+				want := exactQuantile(xs, q)
+				got := h.Quantile(q)
+				relErr := math.Abs(got-want) / want
+				if relErr > RelativeError+1e-12 {
+					t.Errorf("q=%v: got %v, exact %v, rel err %.4f > bound %.4f",
+						q, got, want, relErr, RelativeError)
+				}
+			}
+			if h.Quantile(0) != xs[0] || h.Quantile(1) != xs[len(xs)-1] {
+				t.Errorf("q=0/q=1 should be exact min/max: got %v/%v want %v/%v",
+					h.Quantile(0), h.Quantile(1), xs[0], xs[len(xs)-1])
+			}
+		})
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	// Zero and negative observations land in the underflow bucket but keep
+	// exact min/max via the clamp.
+	h.Observe(0)
+	h.Observe(-3)
+	h.Observe(5)
+	st := h.Stats()
+	if st.Count != 3 || st.Min != -3 || st.Max != 5 || st.Sum != 2 {
+		t.Errorf("stats = %+v, want count 3 min -3 max 5 sum 2", st)
+	}
+	if q := h.Quantile(0.01); q < -3 || q > 5 {
+		t.Errorf("quantile %v outside observed range [-3, 5]", q)
+	}
+	// A single value is every quantile.
+	h2 := NewHistogram()
+	h2.Observe(7)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := h2.Quantile(q)
+		if math.Abs(got-7)/7 > RelativeError {
+			t.Errorf("single-value q=%v = %v, want ≈7", q, got)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for j := 0; j < 2000; j++ {
+				h.Observe(float64(k*2000+j) + 1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if h.Count() != 16000 {
+		t.Errorf("concurrent count = %d, want 16000", h.Count())
+	}
+	st := h.Stats()
+	if st.Min != 1 || st.Max != 16000 {
+		t.Errorf("min/max = %v/%v, want 1/16000", st.Min, st.Max)
+	}
+	wantSum := 16000.0 * 16001 / 2
+	if math.Abs(st.Sum-wantSum) > 1e-6*wantSum {
+		t.Errorf("sum = %v, want %v", st.Sum, wantSum)
+	}
+}
+
+func TestTimer(t *testing.T) {
+	r := NewRegistry()
+	tm := r.Timer("op_seconds")
+	tm.Observe(50 * time.Millisecond)
+	stop := tm.Start()
+	stop()
+	if tm.Count() != 2 {
+		t.Errorf("timer count = %d, want 2", tm.Count())
+	}
+	if s := tm.SumSeconds(); s < 0.05 || s > 10 {
+		t.Errorf("timer sum = %v s, want ≥ 0.05 and sane", s)
+	}
+}
+
+func TestSnapshotStableAndComplete(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(2)
+	r.Gauge("a_level").Set(1.5)
+	r.Histogram("c_hist").Observe(10)
+	r.Timer("d_seconds").Observe(time.Second)
+	r.Counter("b_labeled", L("k", "v")).Inc()
+	snaps := r.Snapshot()
+	if len(snaps) != 5 {
+		t.Fatalf("snapshot has %d entries, want 5", len(snaps))
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i-1].Name > snaps[i].Name {
+			t.Errorf("snapshot not sorted: %q before %q", snaps[i-1].Name, snaps[i].Name)
+		}
+	}
+	// Snapshots must round-trip through JSON (they enter manifests).
+	b, err := json.Marshal(snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	for i := range snaps {
+		if back[i].Name != snaps[i].Name || back[i].Kind != snaps[i].Kind || back[i].Value != snaps[i].Value {
+			t.Errorf("snapshot %d did not round-trip: %+v vs %+v", i, snaps[i], back[i])
+		}
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("frames_total", L("stage", "fig8")).Add(123)
+	r.Timer("stage_seconds").Observe(time.Millisecond)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	prom := get("/metrics")
+	if !strings.Contains(prom, `frames_total{stage="fig8"} 123`) {
+		t.Errorf("prometheus exposition missing counter sample:\n%s", prom)
+	}
+	if !strings.Contains(prom, "stage_seconds_count") {
+		t.Errorf("prometheus exposition missing summary count:\n%s", prom)
+	}
+
+	var vars struct {
+		Metrics []Snapshot     `json:"metrics"`
+		Runtime map[string]any `json:"runtime"`
+	}
+	if err := json.Unmarshal([]byte(get("/vars")), &vars); err != nil {
+		t.Fatalf("/vars is not valid JSON: %v", err)
+	}
+	if len(vars.Metrics) != 2 || vars.Runtime["goroutines"] == nil {
+		t.Errorf("/vars incomplete: %+v", vars)
+	}
+
+	if body := get("/debug/pprof/cmdline"); len(body) == 0 {
+		t.Error("/debug/pprof/cmdline returned empty body")
+	}
+}
+
+func TestServe(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Inc()
+	srv, addr, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status %d", resp.StatusCode)
+	}
+}

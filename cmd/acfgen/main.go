@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/modelspec"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/traffic"
 )
 
@@ -84,6 +85,7 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "acfgen:", err)
+	telemetry.Log.SetPrefix("acfgen")
+	telemetry.Log.Errorf("%v", err)
 	os.Exit(1)
 }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/cac"
 	"repro/internal/models"
 	"repro/internal/modelspec"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -83,6 +84,7 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "admit:", err)
+	telemetry.Log.SetPrefix("admit")
+	telemetry.Log.Errorf("%v", err)
 	os.Exit(1)
 }

@@ -13,7 +13,10 @@
 // fan out over -workers cores (default: all); the estimates are
 // bit-identical for every worker count. With -telemetry ADDR (e.g. ":6060")
 // an HTTP endpoint serves live metrics (/metrics, /vars) and /debug/pprof
-// profiles for the duration of the run; serving never perturbs results.
+// profiles for the duration of the run. With -trace FILE the run records a
+// span tree (model → replication → mux chunk) and writes Chrome
+// trace-event JSON loadable in Perfetto; -v/-quiet adjust log verbosity.
+// None of these sinks perturbs results.
 package main
 
 import (
@@ -31,7 +34,10 @@ import (
 	"repro/internal/mux"
 	"repro/internal/runner"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
+
+var logx = telemetry.Log
 
 func main() {
 	var (
@@ -45,8 +51,18 @@ func main() {
 		workers = flag.Int("workers", 0, "parallel replication workers (0 = all cores, 1 = serial)")
 		bop     = flag.Bool("bop", false, "measure infinite-buffer P(W > x) instead of finite-buffer CLR")
 		telem   = flag.String("telemetry", "", "serve live metrics/pprof on this address (e.g. :6060); empty = off")
+		trc     = flag.String("trace", "", "write Chrome trace-event JSON of the run's span tree to this file (load in Perfetto)")
+		verbose = flag.Bool("v", false, "verbose logging (debug level)")
+		quiet   = flag.Bool("quiet", false, "log errors only (overrides -v)")
 	)
 	flag.Parse()
+	logx.SetPrefix("atmsim")
+	logx.SetLevel(telemetry.LevelFromFlags(*verbose, *quiet))
+
+	var tracer *trace.Tracer
+	if *trc != "" {
+		tracer = trace.New()
+	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
@@ -57,7 +73,7 @@ func main() {
 			fatal(err)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "atmsim: telemetry on http://%s (/metrics, /vars, /debug/pprof/)\n", addr)
+		logx.Infof("telemetry on http://%s (/metrics, /vars, /debug/pprof/)", addr)
 	}
 
 	ms, err := modelspec.ParseList(*specs)
@@ -76,6 +92,7 @@ func main() {
 	for _, m := range ms {
 		fmt.Printf("model %s  (N=%d, c=%g cells/frame, %d reps × %d frames)\n",
 			m.Name(), *n, *c, *reps, *frames)
+		sp := tracer.Root("model "+m.Name(), trace.Int("N", *n), trace.Float("c", *c))
 		if *bop {
 			thresholds := make([]float64, len(cells))
 			for i, b := range cells {
@@ -84,7 +101,9 @@ func main() {
 			res, err := mux.RunBOP(mux.BOPConfig{
 				Model: m, N: *n, C: *c, Frames: *frames * *reps,
 				Warmup: *frames / 10, Seed: *seed, Thresholds: thresholds,
+				Span: sp,
 			})
+			sp.End()
 			if err != nil {
 				fatal(err)
 			}
@@ -98,7 +117,8 @@ func main() {
 			Model: m, N: *n, C: *c, Frames: *frames,
 			Warmup: *frames / 20, Seed: *seed,
 		}
-		byBuffer, err := mux.SweepReplicationsEngine(ctx, eng, cfg, cells, *reps)
+		byBuffer, err := mux.SweepReplicationsEngine(trace.ContextWith(ctx, sp), eng, cfg, cells, *reps)
+		sp.End()
 		if err != nil {
 			fatal(err)
 		}
@@ -108,6 +128,12 @@ func main() {
 			fmt.Printf("  %-12.3f %-14.6g [%.3g, %.3g]\n",
 				msecs[i], ci.Point, ci.Low(), ci.High())
 		}
+	}
+	if *trc != "" {
+		if err := tracer.WriteChromeFile(*trc); err != nil {
+			fatal(err)
+		}
+		logx.Infof("wrote %d spans to %s (load in Perfetto or chrome://tracing)", tracer.Len(), *trc)
 	}
 }
 
@@ -131,6 +157,6 @@ func parseFloats(s string) ([]float64, error) {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "atmsim:", err)
+	logx.Errorf("%v", err)
 	os.Exit(1)
 }

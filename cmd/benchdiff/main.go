@@ -38,6 +38,8 @@ import (
 	"repro/internal/telemetry"
 )
 
+var logx = telemetry.Log
+
 func main() {
 	var (
 		dir       = flag.String("dir", "bench", "directory holding BENCH_<date>.json recordings")
@@ -50,8 +52,11 @@ func main() {
 		write     = flag.Bool("write", true, "write BENCH_<date>.json into -dir")
 		failFlag  = flag.Bool("fail", false, "exit 1 when regressions are found (default: report only)")
 		verbose   = flag.Bool("v", false, "show all comparisons, not only interesting ones")
+		quiet     = flag.Bool("quiet", false, "log errors only (overrides -v)")
 	)
 	flag.Parse()
+	logx.SetPrefix("benchdiff")
+	logx.SetLevel(telemetry.LevelFromFlags(*verbose, *quiet))
 
 	bs, err := collect(*parse, *benchRe, *benchtime, *pkg)
 	if err != nil {
@@ -94,8 +99,17 @@ func main() {
 		fmt.Printf("recorded %d benchmarks to %s\n", len(bs), curPath)
 	}
 
+	// A single recording is the expected state of a fresh checkout or a
+	// first CI run, not an error: say so plainly and exit 0 so report-only
+	// pipelines don't need special-casing.
 	if basePath == "" {
-		fmt.Println("no previous BENCH_*.json to diff against; baseline recorded")
+		if *write {
+			fmt.Printf("no baseline found: %s holds no BENCH_*.json older than %s; today's recording becomes the baseline for the next run\n",
+				*dir, curPath)
+		} else {
+			fmt.Printf("no baseline found: %s holds no BENCH_*.json to diff against (and -write=false recorded nothing); nothing to compare\n",
+				*dir)
+		}
 		return
 	}
 	base, err := benchfmt.ReadFile(basePath)
@@ -122,7 +136,7 @@ func collect(parsePath, benchRe, benchtime, pkg string) ([]benchfmt.Benchmark, e
 		return benchfmt.Parse(f)
 	}
 	args := []string{"test", "-run", "^$", "-bench", benchRe, "-benchtime", benchtime, pkg}
-	fmt.Fprintf(os.Stderr, "benchdiff: go %s\n", strings.Join(args, " "))
+	logx.Infof("go %s", strings.Join(args, " "))
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
 	out, err := cmd.Output()
@@ -149,6 +163,6 @@ func previous(dir, exclude string) string {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	logx.Errorf("%v", err)
 	os.Exit(1)
 }

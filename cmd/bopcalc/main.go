@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/modelspec"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -76,6 +77,7 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "bopcalc:", err)
+	telemetry.Log.SetPrefix("bopcalc")
+	telemetry.Log.Errorf("%v", err)
 	os.Exit(1)
 }

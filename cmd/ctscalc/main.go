@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/modelspec"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -60,6 +61,7 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ctscalc:", err)
+	telemetry.Log.SetPrefix("ctscalc")
+	telemetry.Log.Errorf("%v", err)
 	os.Exit(1)
 }

@@ -19,6 +19,7 @@ import (
 	"repro/internal/dar"
 	"repro/internal/modelspec"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -123,6 +124,7 @@ func readTrace(path string) ([]float64, error) {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "fitdar:", err)
+	telemetry.Log.SetPrefix("fitdar")
+	telemetry.Log.Errorf("%v", err)
 	os.Exit(1)
 }

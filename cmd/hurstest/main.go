@@ -22,6 +22,7 @@ import (
 	"repro/internal/modelspec"
 	"repro/internal/spectrum"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/traffic"
 )
 
@@ -101,6 +102,7 @@ func readTrace(path string) ([]float64, error) {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "hurstest:", err)
+	telemetry.Log.SetPrefix("hurstest")
+	telemetry.Log.Errorf("%v", err)
 	os.Exit(1)
 }

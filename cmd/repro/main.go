@@ -17,18 +17,23 @@
 //
 // Observability: with -out DIR the run writes DIR/manifest.jsonl — a
 // structured JSONL record of the run (seed, git revision, config, per-stage
-// wall times, per-series results with CLR confidence bounds, wall/CPU
-// totals and the final metrics snapshot) that telemetry.ReadManifest
-// decodes. With -telemetry ADDR (e.g. ":6060") an HTTP endpoint serves
-// live metrics (/metrics Prometheus text, /vars JSON) and /debug/pprof
-// profiles while the run progresses. Neither sink perturbs results:
-// fixed-seed outputs are bit-identical with telemetry on or off.
+// wall times, per-series results with CLR confidence bounds and convergence
+// verdicts, wall/CPU totals, the final metrics snapshot and the span timing
+// table) that telemetry.ReadManifest decodes. With -telemetry ADDR (e.g.
+// ":6060") an HTTP endpoint serves live metrics (/metrics Prometheus text,
+// /vars JSON) and /debug/pprof profiles while the run progresses. With
+// -trace FILE the run records a span tree (figure → sweep → replication →
+// mux chunk) and writes it as Chrome trace-event JSON, loadable in
+// Perfetto or chrome://tracing. -v/-quiet raise/lower log verbosity. None
+// of these sinks perturbs results: fixed-seed outputs are bit-identical
+// with every combination on or off.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -36,10 +41,14 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/diag"
 	"repro/internal/experiments"
 	"repro/internal/runner"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
+
+var logx = telemetry.Log
 
 func main() {
 	var (
@@ -52,9 +61,22 @@ func main() {
 		workers = flag.Int("workers", 0, "parallel simulation workers (0 = all cores, 1 = serial)")
 		ckpt    = flag.String("checkpoint", "", "checkpoint file: persist finished replications and resume interrupted runs")
 		telem   = flag.String("telemetry", "", "serve live metrics/pprof on this address (e.g. :6060); empty = off")
+		trc     = flag.String("trace", "", "write Chrome trace-event JSON of the run's span tree to this file (load in Perfetto)")
+		convRel = flag.Float64("convrel", 0, "target relative 95% CI half-width for convergence verdicts (0 = default 0.5)")
+		verbose = flag.Bool("v", false, "verbose logging (debug level)")
+		quiet   = flag.Bool("quiet", false, "log errors only (overrides -v)")
 	)
 	flag.Parse()
+	logx.SetPrefix("repro")
+	logx.SetLevel(telemetry.LevelFromFlags(*verbose, *quiet))
 	start := time.Now()
+
+	// The tracer is nil unless -trace is given; every span descending from
+	// it is then a no-op, so the instrumented paths cost one branch.
+	var tracer *trace.Tracer
+	if *trc != "" {
+		tracer = trace.New()
+	}
 
 	// Interrupts cancel in-flight replications cleanly so the checkpoint
 	// stays consistent and the run can be resumed.
@@ -72,12 +94,13 @@ func main() {
 		}
 		defer c.Close()
 		if n := c.Len(); n > 0 {
-			fmt.Fprintf(os.Stderr, "repro: resuming with %d checkpointed replications from %s\n", n, *ckpt)
+			logx.Infof("resuming with %d checkpointed replications from %s", n, *ckpt)
 		}
 		eng.SetCheckpoint(c)
 	}
-	// stopLog flushes a final stats line, so short runs still report totals.
-	stopLog := eng.LogProgress(5*time.Second, os.Stderr)
+	// stopLog flushes a final stats line, so short runs still report
+	// totals; routing through the leveled logger makes -quiet silence it.
+	stopLog := eng.LogProgress(5*time.Second, logx.Writer(telemetry.LevelInfo))
 	defer stopLog()
 
 	if *telem != "" {
@@ -86,12 +109,13 @@ func main() {
 			fatal(err)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "repro: telemetry on http://%s (/metrics, /vars, /debug/pprof/)\n", addr)
+		logx.Infof("telemetry on http://%s (/metrics, /vars, /debug/pprof/)", addr)
 	}
 
 	sim := experiments.SimConfig{
 		Reps: *reps, Frames: *frames, Seed: *seed,
 		Engine: eng, Ctx: ctx,
+		ConvMaxRelCI: *convRel,
 	}
 	if err := sim.Validate(); err != nil {
 		fatal(err)
@@ -132,7 +156,9 @@ func main() {
 
 	if selected("table1") {
 		t0 := time.Now()
+		sp := tracer.Root("table1")
 		tab, err := experiments.Table1()
+		sp.End()
 		if err != nil {
 			fatal(err)
 		}
@@ -142,38 +168,49 @@ func main() {
 		}
 	}
 
+	// Simulation-backed drivers receive the figure's root span through
+	// SimConfig so sweeps, replications and mux chunks nest below it;
+	// analytic drivers just run inside the span's extent.
+	withSpan := func(sp trace.Span) experiments.SimConfig {
+		s := sim
+		s.Span = sp
+		return s
+	}
 	type driver struct {
 		id  string
-		run func() ([]*experiments.Result, error)
+		run func(sp trace.Span) ([]*experiments.Result, error)
+	}
+	analytic := func(fn func() ([]*experiments.Result, error)) func(trace.Span) ([]*experiments.Result, error) {
+		return func(trace.Span) ([]*experiments.Result, error) { return fn() }
 	}
 	drivers := []driver{
-		{"fig1", experiments.Fig1},
-		{"fig2", func() ([]*experiments.Result, error) {
+		{"fig1", analytic(experiments.Fig1)},
+		{"fig2", func(trace.Span) ([]*experiments.Result, error) {
 			r, err := experiments.Fig2(500, *seed)
 			return []*experiments.Result{r}, err
 		}},
-		{"fig3", experiments.Fig3},
-		{"fig4", experiments.Fig4},
-		{"fig5", experiments.Fig5},
-		{"fig6", experiments.Fig6},
-		{"fig7", experiments.Fig7},
-		{"fig8", func() ([]*experiments.Result, error) { return experiments.Fig8(sim) }},
-		{"fig9", func() ([]*experiments.Result, error) { return experiments.Fig9(sim) }},
-		{"fig10", func() ([]*experiments.Result, error) {
-			r, err := experiments.Fig10(sim)
+		{"fig3", analytic(experiments.Fig3)},
+		{"fig4", analytic(experiments.Fig4)},
+		{"fig5", analytic(experiments.Fig5)},
+		{"fig6", analytic(experiments.Fig6)},
+		{"fig7", analytic(experiments.Fig7)},
+		{"fig8", func(sp trace.Span) ([]*experiments.Result, error) { return experiments.Fig8(withSpan(sp)) }},
+		{"fig9", func(sp trace.Span) ([]*experiments.Result, error) { return experiments.Fig9(withSpan(sp)) }},
+		{"fig10", func(sp trace.Span) ([]*experiments.Result, error) {
+			r, err := experiments.Fig10(withSpan(sp))
 			return []*experiments.Result{r}, err
 		}},
 		// Extensions beyond the published evaluation (paper §6 directions);
 		// included in -exp all.
-		{"extmpeg", experiments.ExtMPEG},
-		{"extsub", experiments.ExtSubstrates},
-		{"extweibull", experiments.ExtWeibull},
-		{"extmarg", func() ([]*experiments.Result, error) {
-			r, err := experiments.ExtMarginals(sim)
+		{"extmpeg", analytic(experiments.ExtMPEG)},
+		{"extsub", analytic(experiments.ExtSubstrates)},
+		{"extweibull", analytic(experiments.ExtWeibull)},
+		{"extmarg", func(sp trace.Span) ([]*experiments.Result, error) {
+			r, err := experiments.ExtMarginals(withSpan(sp))
 			return []*experiments.Result{r}, err
 		}},
-		{"extflr", func() ([]*experiments.Result, error) {
-			r, err := experiments.ExtFLR(sim)
+		{"extflr", func(sp trace.Span) ([]*experiments.Result, error) {
+			r, err := experiments.ExtFLR(withSpan(sp))
 			return []*experiments.Result{r}, err
 		}},
 	}
@@ -184,9 +221,11 @@ func main() {
 		if err := ctx.Err(); err != nil {
 			fatal(fmt.Errorf("interrupted (rerun with -checkpoint to resume): %w", context.Cause(ctx)))
 		}
-		fmt.Fprintf(os.Stderr, "running %s...\n", d.id)
+		logx.Infof("running %s...", d.id)
 		t0 := time.Now()
-		results, err := d.run()
+		sp := tracer.Root(d.id)
+		results, err := d.run(sp)
+		sp.End()
 		if manifest != nil {
 			rec := telemetry.StageRecord{ID: d.id, WallSeconds: time.Since(t0).Seconds()}
 			if err != nil {
@@ -220,24 +259,61 @@ func main() {
 			CPUSeconds:  telemetry.CPUSeconds(),
 			End:         time.Now().Format(time.RFC3339Nano),
 			Metrics:     telemetry.Default.Snapshot(),
+			Spans:       spanSummaries(tracer),
 		})
 		if err != nil {
 			fatal(err)
 		}
 	}
+	if *trc != "" {
+		if err := tracer.WriteChromeFile(*trc); err != nil {
+			fatal(err)
+		}
+		logx.Infof("wrote %d spans to %s (load in Perfetto or chrome://tracing)", tracer.Len(), *trc)
+	}
 }
 
 // resultRecord converts an experiment result into its manifest form,
-// preserving the replication confidence bounds that the rendered tables
-// drop.
+// preserving the replication confidence bounds and convergence verdicts
+// that the rendered tables drop.
 func resultRecord(stage string, r *experiments.Result) telemetry.ResultRecord {
 	rec := telemetry.ResultRecord{Stage: stage, ID: r.ID, Title: r.Title}
 	for _, s := range r.Series {
-		rec.Series = append(rec.Series, telemetry.SeriesRecord{
+		sr := telemetry.SeriesRecord{
 			Label: s.Label, X: s.X, Y: s.Y, Lo: s.Lo, Hi: s.Hi,
-		})
+		}
+		for _, v := range s.Verdicts {
+			sr.Conv = append(sr.Conv, convRecord(v))
+		}
+		rec.Series = append(rec.Series, sr)
 	}
 	return rec
+}
+
+// convRecord converts a diag verdict into its manifest form. An undefined
+// relative CI (±Inf: fewer than two finite observations, or a zero mean
+// with spread) becomes −1, since JSON cannot carry non-finite numbers.
+func convRecord(v diag.Verdict) telemetry.ConvRecord {
+	rel := v.RelCI
+	if math.IsInf(rel, 0) || math.IsNaN(rel) {
+		rel = -1
+	}
+	return telemetry.ConvRecord{
+		N: v.N, NonFinite: v.NonFinite, RelCI: rel, ESS: v.ESS, Converged: v.Converged,
+	}
+}
+
+// spanSummaries converts the tracer's aggregated timing table into its
+// manifest form (nil tracer → nil, omitted from the summary line).
+func spanSummaries(t *trace.Tracer) []telemetry.SpanSummary {
+	var out []telemetry.SpanSummary
+	for _, s := range t.Summarize() {
+		out = append(out, telemetry.SpanSummary{
+			Name: s.Name, Count: s.Count, TotalSeconds: s.TotalSeconds,
+			MinSeconds: s.MinSeconds, MaxSeconds: s.MaxSeconds,
+		})
+	}
+	return out
 }
 
 func emitText(id, text, outDir string) {
@@ -254,6 +330,6 @@ func emitText(id, text, outDir string) {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "repro:", err)
+	logx.Errorf("%v", err)
 	os.Exit(1)
 }

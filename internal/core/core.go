@@ -154,6 +154,7 @@ func brFromTotalRate(ni float64) float64 {
 	if p > 1 {
 		p = 1
 	}
+	probeProb.CheckPositive(p)
 	return p
 }
 
@@ -220,6 +221,7 @@ func WeibullLRD(p LRDParams, op Operating) (float64, error) {
 	if pr > 1 {
 		pr = 1
 	}
+	probeProb.CheckPositive(pr)
 	return pr, nil
 }
 

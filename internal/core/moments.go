@@ -5,8 +5,17 @@ import (
 	"reflect"
 	"sync"
 
+	"repro/internal/diag"
 	"repro/internal/solver"
 	"repro/internal/traffic"
+)
+
+// Numerical-health probes over the asymptotic estimates: a rate function
+// gone NaN (broken ACF) or a probability underflowing to exact zero
+// (N·I(c,b) past ~745) is counted rather than silently plotted.
+var (
+	probeRate = diag.NewProbe("core.RateFunction")
+	probeProb = diag.NewProbe("core.OverflowProb")
 )
 
 // momentsCache maps comparable models to their shared traffic.Moments
@@ -52,6 +61,7 @@ func CTSMoments(mo *traffic.Moments, op Operating, maxM int) (CTSResult, error) 
 		return num * num / (2 * mo.VarSum(m))
 	}
 	best, ok := solver.IntArgminSlack(obj, maxM, 4, 64, 3)
+	probeRate.Check(best.Value)
 	return CTSResult{M: best.Arg, Rate: best.Value, Converged: ok}, nil
 }
 
@@ -76,5 +86,7 @@ func LargeNMoments(mo *traffic.Moments, op Operating, maxM int) (float64, error)
 	if err != nil {
 		return 0, err
 	}
-	return math.Exp(-float64(op.N) * res.Rate), nil
+	p := math.Exp(-float64(op.N) * res.Rate)
+	probeProb.CheckPositive(p)
+	return p, nil
 }

@@ -16,21 +16,26 @@ import (
 	"math"
 	"strings"
 
+	"repro/internal/diag"
 	"repro/internal/models"
 	"repro/internal/runner"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Series is one labelled curve of an experiment. Simulation-backed series
 // also carry replication confidence bounds (Lo/Hi parallel to Y) so run
-// manifests can record CLR ± CI, not just the point estimate; analytic
+// manifests can record CLR ± CI, not just the point estimate, and
+// per-point convergence verdicts (Verdicts parallel to Y) so a manifest
+// records whether each estimate had statistically converged; analytic
 // series leave them nil. Render/CSV show the point estimates only.
 type Series struct {
-	Label string
-	X     []float64
-	Y     []float64
-	Lo    []float64
-	Hi    []float64
+	Label    string
+	X        []float64
+	Y        []float64
+	Lo       []float64
+	Hi       []float64
+	Verdicts []diag.Verdict
 }
 
 // stage times one experiment driver into the telemetry.Default stage-timer
@@ -167,6 +172,31 @@ type SimConfig struct {
 	Engine *runner.Engine
 	// Ctx, when non-nil, cancels in-flight replications (fail-fast).
 	Ctx context.Context
+
+	// Span, when active, parents the figure's trace spans: each model
+	// sweep becomes a child span, and replications/mux chunks nest below
+	// it. The zero Span disables tracing. Observational only — never part
+	// of seeds, so results are bit-identical with tracing on or off.
+	Span trace.Span
+	// ConvMaxRelCI is the target relative 95% CI half-width for per-point
+	// convergence verdicts (≤ 0 selects DefaultConvMaxRelCI). Verdicts are
+	// attached to every simulated series and unconverged points are logged
+	// as warnings; they never alter the estimates themselves.
+	ConvMaxRelCI float64
+}
+
+// DefaultConvMaxRelCI is the default convergence target: a relative 95%
+// CI half-width of 50%. CLRs near 1e-6 are order-of-magnitude statements
+// in the paper's plots, so ±50% is the widest interval that still
+// supports the figures' qualitative claims.
+const DefaultConvMaxRelCI = 0.5
+
+// convRel returns the effective convergence target.
+func (s SimConfig) convRel() float64 {
+	if s.ConvMaxRelCI > 0 {
+		return s.ConvMaxRelCI
+	}
+	return DefaultConvMaxRelCI
 }
 
 // engine returns the orchestration engine to run under.

@@ -5,9 +5,12 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/diag"
 	"repro/internal/models"
 	"repro/internal/mux"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/traffic"
 )
 
@@ -21,10 +24,18 @@ var SimBufferGridMsec = []float64{0, 1, 2, 4, 6, 8, 10, 14, 20}
 // buffer sizes), averaging over cfg.Reps replications. Replications are
 // fanned out over cfg's orchestration engine; the estimates are
 // bit-identical for any worker count.
+//
+// Each sweep runs under a child span of cfg.Span (replications and mux
+// chunks nest below it), and every grid point gets a convergence verdict
+// over its per-replication CLRs; unconverged points are logged as
+// warnings. Both are observational — they never touch the estimates.
 func clrSeries(m traffic.Model, c float64, n int, grid []float64, cfg SimConfig) (Series, error) {
 	if err := cfg.Validate(); err != nil {
 		return Series{}, err
 	}
+	sp := cfg.Span.Child("sweep "+m.Name(),
+		trace.Int("N", n), trace.Float("c", c), trace.Int("reps", cfg.Reps))
+	defer sp.End()
 	buffers := make([]float64, len(grid))
 	for i, msec := range grid {
 		buffers[i] = MsecToPerSourceCells(msec, c)
@@ -37,17 +48,27 @@ func clrSeries(m traffic.Model, c float64, n int, grid []float64, cfg SimConfig)
 		Warmup: cfg.Frames / 20,
 		Seed:   cfg.Seed,
 	}
-	byBuffer, err := mux.SweepReplicationsEngine(cfg.context(), cfg.engine(), run, buffers, cfg.Reps)
+	ctx := trace.ContextWith(cfg.context(), sp)
+	byBuffer, err := mux.SweepReplicationsEngine(ctx, cfg.engine(), run, buffers, cfg.Reps)
 	if err != nil {
 		return Series{}, fmt.Errorf("sim %s: %w", m.Name(), err)
 	}
 	s := Series{Label: m.Name()}
+	clrs := make([]float64, cfg.Reps)
 	for i := range grid {
 		ci := mux.CLREstimate(byBuffer[i], 0.95)
 		s.X = append(s.X, grid[i])
 		s.Y = append(s.Y, ci.Point)
 		s.Lo = append(s.Lo, ci.Low())
 		s.Hi = append(s.Hi, ci.High())
+		for rep, r := range byBuffer[i] {
+			clrs[rep] = r.CLR
+		}
+		v := diag.Assess(clrs, cfg.convRel())
+		s.Verdicts = append(s.Verdicts, v)
+		if !v.Converged {
+			telemetry.Log.Warnf("%s buffer %g msec: %s", m.Name(), grid[i], v)
+		}
 	}
 	return s, nil
 }

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/traffic"
 )
 
@@ -67,6 +68,7 @@ type blockAggregator struct {
 	gens []traffic.BlockGenerator
 	agg  *[]float64
 	tmp  *[]float64
+	span trace.Span // parent for per-chunk "mux fill" spans; zero = off
 }
 
 // newBlockAggregator wraps gens for block streaming, using each
@@ -89,6 +91,7 @@ func newBlockAggregator(gens []traffic.Generator) *blockAggregator {
 // (n ≤ chunkFrames). The returned slice is owned by the aggregator and
 // valid until the next call to next or release.
 func (b *blockAggregator) next(n int) []float64 {
+	defer b.span.Child("mux fill", trace.Int("frames", n)).End()
 	defer metFillTime.Start()()
 	agg := (*b.agg)[:n]
 	tmp := (*b.tmp)[:n]

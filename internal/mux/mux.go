@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/seed"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/traffic"
 )
 
@@ -36,6 +37,10 @@ type Config struct {
 	Frames int     // simulated frames after warm-up
 	Warmup int     // frames discarded before measurement
 	Seed   int64
+	// Span, when active, parents per-chunk "mux fill"/"mux drain" trace
+	// spans. Purely observational (never part of seeds or fingerprints);
+	// the zero Span disables chunk tracing at the cost of one branch.
+	Span trace.Span
 }
 
 // Validate checks the configuration.
@@ -88,6 +93,7 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	ba := newBlockAggregator(gens)
+	ba.span = cfg.Span
 	defer ba.release()
 	totalC := float64(cfg.N) * cfg.C
 	totalB := float64(cfg.N) * cfg.B
@@ -105,6 +111,7 @@ func Run(cfg Config) (Result, error) {
 	for rem := cfg.Frames; rem > 0; {
 		n := min(rem, chunkFrames)
 		chunk := ba.next(n)
+		spDrain := cfg.Span.Child("mux drain", trace.Int("frames", n))
 		stopDrain := metDrainTime.Start()
 		for _, a := range chunk {
 			res.ArrivedCells += a
@@ -120,6 +127,7 @@ func Run(cfg Config) (Result, error) {
 			}
 		}
 		stopDrain()
+		spDrain.End()
 		metOccupancy.Observe(w)
 		rem -= n
 	}
@@ -216,6 +224,7 @@ type BOPConfig struct {
 	Warmup     int     // discarded frames
 	Seed       int64
 	Thresholds []float64 // workload levels x (total cells) for P(W > x)
+	Span       trace.Span
 }
 
 // Validate checks the configuration.
@@ -259,6 +268,7 @@ func RunBOP(cfg BOPConfig) (BOPResult, error) {
 		return BOPResult{}, err
 	}
 	ba := newBlockAggregator(gens)
+	ba.span = cfg.Span
 	defer ba.release()
 	totalC := float64(cfg.N) * cfg.C
 
@@ -275,6 +285,7 @@ func RunBOP(cfg BOPConfig) (BOPResult, error) {
 	for rem := cfg.Frames; rem > 0; {
 		n := min(rem, chunkFrames)
 		chunk := ba.next(n)
+		spDrain := cfg.Span.Child("mux drain", trace.Int("frames", n))
 		stopDrain := metDrainTime.Start()
 		for _, a := range chunk {
 			w = math.Max(w+a-totalC, 0)
@@ -292,6 +303,7 @@ func RunBOP(cfg BOPConfig) (BOPResult, error) {
 			}
 		}
 		stopDrain()
+		spDrain.End()
 		metOccupancy.Observe(w)
 		rem -= n
 	}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/runner"
+	"repro/internal/trace"
 )
 
 // RunSweep measures the finite-buffer CLR at several buffer sizes in a
@@ -37,6 +38,7 @@ func RunSweep(cfg Config, buffersCells []float64) ([]Result, error) {
 		return nil, err
 	}
 	ba := newBlockAggregator(gens)
+	ba.span = cfg.Span
 	defer ba.release()
 	totalC := float64(cfg.N) * cfg.C
 	totalB := make([]float64, len(bs))
@@ -62,6 +64,7 @@ func RunSweep(cfg Config, buffersCells []float64) ([]Result, error) {
 	for rem := cfg.Frames; rem > 0; {
 		n := min(rem, chunkFrames)
 		chunk := ba.next(n)
+		spDrain := cfg.Span.Child("mux drain", trace.Int("frames", n))
 		stopDrain := metDrainTime.Start()
 		for _, a := range chunk {
 			for j := range w {
@@ -80,6 +83,7 @@ func RunSweep(cfg Config, buffersCells []float64) ([]Result, error) {
 			}
 		}
 		stopDrain()
+		spDrain.End()
 		// One occupancy sample per chunk, from the largest buffer in the
 		// sweep — the recursion whose workload the asymptotics study.
 		metOccupancy.Observe(w[len(w)-1])
@@ -142,6 +146,7 @@ func SweepReplicationsEngine(ctx context.Context, eng *runner.Engine, cfg Config
 		func(ctx context.Context, r runner.Rep) ([]Result, error) {
 			c := cfg
 			c.Seed = r.Seed
+			c.Span = trace.FromContext(ctx)
 			res, err := RunSweep(c, buffersCells)
 			if err != nil {
 				return nil, err

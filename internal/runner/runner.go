@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/seed"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Spec identifies one job: a batch of independent replications of the same
@@ -300,9 +301,14 @@ func Run[T any](ctx context.Context, e *Engine, spec Spec, fn func(ctx context.C
 				cancel(err)
 			}
 		}
+		// Each replication runs under a child span of whatever span the
+		// caller carried in ctx, placed on the worker's own trace lane so
+		// concurrent replications render side by side. Spans are
+		// observational — seeds are derived exactly as before.
+		parentSpan := trace.FromContext(ctx)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(lane int) {
 				defer wg.Done()
 				for i := range idxCh {
 					if ctx.Err() != nil {
@@ -313,7 +319,10 @@ func Run[T any](ctx context.Context, e *Engine, spec Spec, fn func(ctx context.C
 						Seed:  seed.DeriveString(spec.MasterSeed, spec.ID, uint64(i)),
 						eng:   e,
 					}
-					res, err := fn(ctx, rep)
+					sp := parentSpan.Child("replication",
+						trace.Int("rep", i), trace.Int64("seed", rep.Seed)).OnLane(lane)
+					res, err := fn(trace.ContextWith(ctx, sp), rep)
+					sp.End()
 					if err != nil {
 						fail(fmt.Errorf("runner: job %q rep %d: %w", spec.ID, i, err))
 						return
@@ -327,7 +336,7 @@ func Run[T any](ctx context.Context, e *Engine, spec Spec, fn func(ctx context.C
 						}
 					}
 				}
-			}()
+			}(w + 1)
 		}
 	feed:
 		for _, i := range pending {

@@ -12,6 +12,18 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/diag"
+)
+
+// Numerical-health probes: every kernel screens the values it produces or
+// scans so a NaN/Inf escaping a model's ACF or an underflowing objective
+// is counted (diag_health_total in telemetry) instead of silently steering
+// an optimizer. The all-finite fast path costs only comparisons.
+var (
+	probeSolve  = diag.NewProbe("solver.Solve")
+	probeBisect = diag.NewProbe("solver.Bisect")
+	probeArgmin = diag.NewProbe("solver.IntArgmin")
 )
 
 // ErrSingular is returned by Solve when the coefficient matrix is singular
@@ -79,7 +91,7 @@ func Solve(a [][]float64, b []float64) ([]float64, error) {
 		x[i] = sum / m[i][i]
 	}
 	for i, v := range x {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
+		if !probeSolve.Check(v) {
 			return nil, fmt.Errorf("solver: non-finite solution component %d", i)
 		}
 	}
@@ -94,6 +106,8 @@ func Bisect(f func(float64) float64, lo, hi, tol float64) (float64, error) {
 		lo, hi = hi, lo
 	}
 	flo, fhi := f(lo), f(hi)
+	probeBisect.Check(flo)
+	probeBisect.Check(fhi)
 	switch {
 	case flo == 0:
 		return lo, nil
@@ -108,6 +122,7 @@ func Bisect(f func(float64) float64, lo, hi, tol float64) (float64, error) {
 			return mid, nil
 		}
 		fm := f(mid)
+		probeBisect.Check(fm)
 		if fm == 0 {
 			return mid, nil
 		}
@@ -179,8 +194,10 @@ func IntArgminSlack(f func(int) float64, maxM int, growFactor, slack, stopFactor
 		return ArgminResult{}, false
 	}
 	best := ArgminResult{Arg: 1, Value: f(1)}
+	probeArgmin.Check(best.Value)
 	for m := 2; m <= maxM; m++ {
 		v := f(m)
+		probeArgmin.Check(v)
 		if v < best.Value {
 			best = ArgminResult{Arg: m, Value: v}
 			continue

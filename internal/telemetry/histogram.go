@@ -37,12 +37,21 @@ var nBuckets = 2 + int(math.Ceil(math.Log2(histMax/histMin)*subScale))
 // with atomic counters, plus atomically maintained count/sum/min/max.
 // Observe is wait-free apart from the sum/min/max CAS loops; quantile
 // queries walk the bucket array and are intended for snapshot-rate use.
+//
+// Non-finite observations (NaN, ±Inf) are quarantined: counted separately
+// and excluded from buckets, sum, min/max and quantiles. A single NaN
+// folded into the running sum would silently poison every later snapshot
+// (and make the JSON manifest unencodable); a counted quarantine keeps
+// the histogram honest and makes the bad input visible. Zero and negative
+// observations are finite and recorded normally — they land in the
+// underflow bucket and participate in sum/min/max.
 type Histogram struct {
-	buckets []atomic.Int64
-	count   atomic.Int64
-	sumBits atomic.Uint64
-	minBits atomic.Uint64 // math.Float64bits, +Inf when empty
-	maxBits atomic.Uint64 // math.Float64bits, -Inf when empty
+	buckets   []atomic.Int64
+	count     atomic.Int64
+	nonFinite atomic.Int64
+	sumBits   atomic.Uint64
+	minBits   atomic.Uint64 // math.Float64bits, +Inf when empty
+	maxBits   atomic.Uint64 // math.Float64bits, -Inf when empty
 }
 
 // NewHistogram returns an empty histogram.
@@ -53,9 +62,9 @@ func NewHistogram() *Histogram {
 	return h
 }
 
-// bucketIndex maps a value to its bucket.
+// bucketIndex maps a (finite) value to its bucket.
 func bucketIndex(v float64) int {
-	if !(v > histMin) { // NaN, negatives, zero and tiny values underflow
+	if !(v > histMin) { // negatives, zero and tiny values underflow
 		return 0
 	}
 	i := 1 + int(math.Log2(v/histMin)*subScale)
@@ -75,8 +84,13 @@ func bucketMid(i int) float64 {
 	return lo * math.Pow(2, 0.5/subScale)
 }
 
-// Observe records one value.
+// Observe records one value. Non-finite values are quarantined (see type
+// comment) rather than recorded.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		h.nonFinite.Add(1)
+		return
+	}
 	h.buckets[bucketIndex(v)].Add(1)
 	h.count.Add(1)
 	for {
@@ -100,9 +114,11 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
-// HistStats is a point-in-time summary of a histogram.
+// HistStats is a point-in-time summary of a histogram. NonFinite counts
+// quarantined NaN/±Inf observations, which participate in nothing else.
 type HistStats struct {
 	Count         int64
+	NonFinite     int64
 	Sum, Min, Max float64
 	P50, P95, P99 float64
 }
@@ -112,13 +128,24 @@ type HistStats struct {
 func (h *Histogram) Stats() HistStats {
 	counts, total := h.snapshotCounts()
 	if total == 0 {
-		return HistStats{}
+		return HistStats{NonFinite: h.nonFinite.Load()}
 	}
 	st := HistStats{
-		Count: total,
-		Sum:   math.Float64frombits(h.sumBits.Load()),
-		Min:   math.Float64frombits(h.minBits.Load()),
-		Max:   math.Float64frombits(h.maxBits.Load()),
+		Count:     total,
+		NonFinite: h.nonFinite.Load(),
+		Sum:       math.Float64frombits(h.sumBits.Load()),
+		Min:       math.Float64frombits(h.minBits.Load()),
+		Max:       math.Float64frombits(h.maxBits.Load()),
+	}
+	// Observe quarantines non-finite values, so min/max can only be ±Inf
+	// in the sub-microsecond window between a concurrent Observe's bucket
+	// add and its min/max CAS. Guard anyway: snapshots must stay
+	// JSON-encodable.
+	if math.IsInf(st.Min, 0) {
+		st.Min = 0
+	}
+	if math.IsInf(st.Max, 0) {
+		st.Max = 0
 	}
 	st.P50 = h.quantileFrom(counts, total, st.Min, st.Max, 0.5)
 	st.P95 = h.quantileFrom(counts, total, st.Min, st.Max, 0.95)
@@ -126,8 +153,11 @@ func (h *Histogram) Stats() HistStats {
 	return st
 }
 
-// Count returns the number of observations.
+// Count returns the number of (finite) observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// NonFinite returns the number of quarantined NaN/±Inf observations.
+func (h *Histogram) NonFinite() int64 { return h.nonFinite.Load() }
 
 // Sum returns the sum of observations.
 func (h *Histogram) Sum() float64 {

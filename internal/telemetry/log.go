@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// Level orders log severities. Messages at or below the logger's level
+// are written; LevelError is the quietest setting that still reports
+// failures.
+type Level int32
+
+const (
+	LevelError Level = iota
+	LevelWarn
+	LevelInfo
+	LevelDebug
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelError:
+		return "error"
+	case LevelWarn:
+		return "warn"
+	case LevelInfo:
+		return "info"
+	case LevelDebug:
+		return "debug"
+	default:
+		return fmt.Sprintf("level(%d)", int32(l))
+	}
+}
+
+// Logger is the small leveled logger behind every human-readable line the
+// CLIs and the runner emit — one formatting convention, one place the
+// -v/-quiet flags act on, instead of ad-hoc fmt.Fprintf(os.Stderr, ...)
+// scattered per call site. Lines render as "prefix: message" with a
+// "warn:"/"debug:" tag on non-default severities, matching the existing
+// CLI output style. All methods are safe for concurrent use; the level
+// can be changed while goroutines log.
+type Logger struct {
+	mu     sync.Mutex
+	out    io.Writer
+	prefix string
+	level  atomic.Int32
+}
+
+// NewLogger builds a logger writing to w (nil = stderr) with the given
+// prefix and level.
+func NewLogger(w io.Writer, prefix string, level Level) *Logger {
+	if w == nil {
+		w = os.Stderr
+	}
+	l := &Logger{out: w, prefix: prefix}
+	l.level.Store(int32(level))
+	return l
+}
+
+// Log is the process-wide default logger, used by package-level
+// instrumentation and any code not handed an explicit logger. CLIs set
+// its prefix and level from their flags at startup.
+var Log = NewLogger(os.Stderr, "", LevelInfo)
+
+// SetLevel changes the logger's verbosity.
+func (l *Logger) SetLevel(level Level) { l.level.Store(int32(level)) }
+
+// GetLevel returns the current verbosity.
+func (l *Logger) GetLevel() Level { return Level(l.level.Load()) }
+
+// SetPrefix changes the line prefix (typically the binary name).
+func (l *Logger) SetPrefix(prefix string) {
+	l.mu.Lock()
+	l.prefix = prefix
+	l.mu.Unlock()
+}
+
+// Enabled reports whether a message at level would be written, for
+// callers that want to skip expensive argument construction.
+func (l *Logger) Enabled(level Level) bool { return level <= l.GetLevel() }
+
+// LevelFromFlags maps the conventional CLI pair (-v, -quiet) to a level:
+// -quiet wins and drops to errors only, -v raises to debug, neither is
+// the info default.
+func LevelFromFlags(verbose, quiet bool) Level {
+	switch {
+	case quiet:
+		return LevelError
+	case verbose:
+		return LevelDebug
+	default:
+		return LevelInfo
+	}
+}
+
+func (l *Logger) logf(level Level, format string, args ...any) {
+	if !l.Enabled(level) {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch {
+	case l.prefix != "" && level == LevelInfo:
+		fmt.Fprintf(l.out, "%s: %s\n", l.prefix, msg)
+	case l.prefix != "":
+		fmt.Fprintf(l.out, "%s: %s: %s\n", l.prefix, level, msg)
+	case level == LevelInfo:
+		fmt.Fprintln(l.out, msg)
+	default:
+		fmt.Fprintf(l.out, "%s: %s\n", level, msg)
+	}
+}
+
+// Errorf logs at LevelError (never suppressed short of discarding the
+// writer).
+func (l *Logger) Errorf(format string, args ...any) { l.logf(LevelError, format, args...) }
+
+// Warnf logs at LevelWarn.
+func (l *Logger) Warnf(format string, args ...any) { l.logf(LevelWarn, format, args...) }
+
+// Infof logs at LevelInfo.
+func (l *Logger) Infof(format string, args ...any) { l.logf(LevelInfo, format, args...) }
+
+// Debugf logs at LevelDebug (shown only under -v).
+func (l *Logger) Debugf(format string, args ...any) { l.logf(LevelDebug, format, args...) }
+
+// Writer adapts the logger to an io.Writer emitting whole lines at the
+// given level — the bridge for components that take a writer (e.g. the
+// runner's progress logger), so their output obeys -quiet like everything
+// else. Trailing newlines are trimmed to avoid blank lines.
+func (l *Logger) Writer(level Level) io.Writer {
+	return writerAdapter{l: l, level: level}
+}
+
+type writerAdapter struct {
+	l     *Logger
+	level Level
+}
+
+func (w writerAdapter) Write(p []byte) (int, error) {
+	msg := string(p)
+	for len(msg) > 0 && (msg[len(msg)-1] == '\n' || msg[len(msg)-1] == '\r') {
+		msg = msg[:len(msg)-1]
+	}
+	if msg != "" {
+		w.l.logf(w.level, "%s", msg)
+	}
+	return len(p), nil
+}

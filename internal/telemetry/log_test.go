@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLoggerLevelFiltering(t *testing.T) {
+	var buf strings.Builder
+	l := NewLogger(&buf, "tool", LevelWarn)
+	l.Errorf("boom")
+	l.Warnf("careful")
+	l.Infof("progress")
+	l.Debugf("detail")
+	got := buf.String()
+	if !strings.Contains(got, "tool: error: boom") {
+		t.Errorf("missing error line in %q", got)
+	}
+	if !strings.Contains(got, "tool: warn: careful") {
+		t.Errorf("missing warn line in %q", got)
+	}
+	if strings.Contains(got, "progress") || strings.Contains(got, "detail") {
+		t.Errorf("suppressed levels leaked: %q", got)
+	}
+}
+
+func TestLoggerInfoHasNoLevelTag(t *testing.T) {
+	var buf strings.Builder
+	l := NewLogger(&buf, "repro", LevelInfo)
+	l.Infof("fig8 done")
+	if got, want := buf.String(), "repro: fig8 done\n"; got != want {
+		t.Errorf("info line = %q, want %q", got, want)
+	}
+	buf.Reset()
+	l.SetPrefix("")
+	l.Infof("bare")
+	if got, want := buf.String(), "bare\n"; got != want {
+		t.Errorf("unprefixed info line = %q, want %q", got, want)
+	}
+}
+
+func TestLevelFromFlags(t *testing.T) {
+	cases := []struct {
+		verbose, quiet bool
+		want           Level
+	}{
+		{false, false, LevelInfo},
+		{true, false, LevelDebug},
+		{false, true, LevelError},
+		{true, true, LevelError}, // quiet wins
+	}
+	for _, c := range cases {
+		if got := LevelFromFlags(c.verbose, c.quiet); got != c.want {
+			t.Errorf("LevelFromFlags(%v, %v) = %v, want %v", c.verbose, c.quiet, got, c.want)
+		}
+	}
+}
+
+func TestLoggerWriterAdapter(t *testing.T) {
+	var buf strings.Builder
+	l := NewLogger(&buf, "", LevelInfo)
+	w := l.Writer(LevelInfo)
+	fmt.Fprintf(w, "progress 50%%\n")
+	if got, want := buf.String(), "progress 50%\n"; got != want {
+		t.Errorf("writer line = %q, want %q", got, want)
+	}
+	// Writes below the level are swallowed but still report success.
+	buf.Reset()
+	dw := l.Writer(LevelDebug)
+	n, err := dw.Write([]byte("hidden\n"))
+	if err != nil || n != 7 {
+		t.Errorf("Write = (%d, %v), want (7, nil)", n, err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("debug write leaked at info level: %q", buf.String())
+	}
+}
+
+func TestLoggerConcurrent(t *testing.T) {
+	var buf strings.Builder
+	var mu sync.Mutex
+	l := NewLogger(writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	}), "x", LevelDebug)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				l.Infof("worker %d line %d", i, j)
+				l.SetLevel(LevelDebug)
+			}
+		}(i)
+	}
+	wg.Wait()
+	mu.Lock()
+	lines := strings.Count(buf.String(), "\n")
+	mu.Unlock()
+	if lines != 8*50 {
+		t.Errorf("got %d lines, want %d", lines, 8*50)
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

@@ -54,13 +54,29 @@ type StageRecord struct {
 
 // SeriesRecord is one labelled curve of a result, with optional
 // replication confidence bounds (Lo/Hi parallel to Y when present) — the
-// "CLR ± CI" provenance that a rendered figure alone loses.
+// "CLR ± CI" provenance that a rendered figure alone loses — and optional
+// per-point convergence verdicts (Conv parallel to Y) from the diag
+// layer, so a manifest records not just what was estimated but whether
+// the estimate had statistically converged.
 type SeriesRecord struct {
-	Label string    `json:"label"`
-	X     []float64 `json:"x"`
-	Y     []float64 `json:"y"`
-	Lo    []float64 `json:"lo,omitempty"`
-	Hi    []float64 `json:"hi,omitempty"`
+	Label string       `json:"label"`
+	X     []float64    `json:"x"`
+	Y     []float64    `json:"y"`
+	Lo    []float64    `json:"lo,omitempty"`
+	Hi    []float64    `json:"hi,omitempty"`
+	Conv  []ConvRecord `json:"conv,omitempty"`
+}
+
+// ConvRecord is the manifest form of one point's convergence verdict.
+// RelCI is the relative 95% CI half-width scaled by the effective sample
+// size; −1 encodes "undefined" (fewer than two finite observations, or a
+// zero mean with spread) since JSON cannot carry ±Inf.
+type ConvRecord struct {
+	N         int     `json:"n"`
+	NonFinite int     `json:"non_finite,omitempty"`
+	RelCI     float64 `json:"rel_ci"`
+	ESS       float64 `json:"ess"`
+	Converged bool    `json:"converged"`
 }
 
 // ResultRecord reports one figure/table panel produced by a stage.
@@ -71,13 +87,25 @@ type ResultRecord struct {
 	Series []SeriesRecord `json:"series,omitempty"`
 }
 
-// RunSummary closes a manifest with resource totals and the final state of
-// the metrics registry.
+// SpanSummary is the manifest form of one span name's aggregated timing
+// (the trace layer's "where did the run go" table).
+type SpanSummary struct {
+	Name         string  `json:"name"`
+	Count        int64   `json:"count"`
+	TotalSeconds float64 `json:"total_seconds"`
+	MinSeconds   float64 `json:"min_seconds"`
+	MaxSeconds   float64 `json:"max_seconds"`
+}
+
+// RunSummary closes a manifest with resource totals, the final state of
+// the metrics registry, and — when tracing was enabled — the aggregated
+// span timing table.
 type RunSummary struct {
-	WallSeconds float64    `json:"wall_seconds"`
-	CPUSeconds  float64    `json:"cpu_seconds"`
-	End         string     `json:"end"` // RFC3339Nano
-	Metrics     []Snapshot `json:"metrics,omitempty"`
+	WallSeconds float64       `json:"wall_seconds"`
+	CPUSeconds  float64       `json:"cpu_seconds"`
+	End         string        `json:"end"` // RFC3339Nano
+	Metrics     []Snapshot    `json:"metrics,omitempty"`
+	Spans       []SpanSummary `json:"spans,omitempty"`
 }
 
 // Manifest is the decoded form of a manifest file.

@@ -218,12 +218,15 @@ type Snapshot struct {
 	Kind   Kind              `json:"kind"`
 	Value  float64           `json:"value,omitempty"`
 	Count  int64             `json:"count,omitempty"`
-	Sum    float64           `json:"sum,omitempty"`
-	Min    float64           `json:"min,omitempty"`
-	Max    float64           `json:"max,omitempty"`
-	P50    float64           `json:"p50,omitempty"`
-	P95    float64           `json:"p95,omitempty"`
-	P99    float64           `json:"p99,omitempty"`
+	// NonFinite counts quarantined NaN/±Inf histogram observations; they
+	// participate in no other statistic.
+	NonFinite int64   `json:"non_finite,omitempty"`
+	Sum       float64 `json:"sum,omitempty"`
+	Min       float64 `json:"min,omitempty"`
+	Max       float64 `json:"max,omitempty"`
+	P50       float64 `json:"p50,omitempty"`
+	P95       float64 `json:"p95,omitempty"`
+	P99       float64 `json:"p99,omitempty"`
 }
 
 // Snapshot returns the state of every registered metric, sorted by name
@@ -265,6 +268,7 @@ func (r *Registry) Snapshot() []Snapshot {
 			st := h.Stats()
 			s.Count, s.Sum, s.Min, s.Max = st.Count, st.Sum, st.Min, st.Max
 			s.P50, s.P95, s.P99 = st.P50, st.P95, st.P99
+			s.NonFinite = st.NonFinite
 		}
 		out = append(out, s)
 	}

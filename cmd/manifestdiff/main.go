@@ -200,7 +200,8 @@ func withinTol(a, b, rtol, atol float64) bool {
 	if math.IsNaN(a) && math.IsNaN(b) {
 		return true
 	}
-	if a == b { // covers ±Inf pairs and exact matches without overflow
+	//lint:floateq bit-identical values (incl. ±Inf, where the tolerance arithmetic would produce NaN) are never drift
+	if a == b {
 		return true
 	}
 	return math.Abs(a-b) <= atol+rtol*math.Max(math.Abs(a), math.Abs(b))

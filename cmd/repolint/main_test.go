@@ -1,0 +1,62 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sixAnalyzers is the suite contract; DESIGN.md §11 documents exactly
+// these invariants.
+var sixAnalyzers = []string{"rngsource", "walltime", "maporder", "printguard", "floateq", "pprofimport"}
+
+// TestListRegistersAllAnalyzers checks the multichecker wires up the
+// full suite: every analyzer name appears in -list output and the exit
+// code is zero.
+func TestListRegistersAllAnalyzers(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-list) = %d, want 0 (stderr: %s)", code, stderr.String())
+	}
+	out := stdout.String()
+	if got := len(strings.Split(strings.TrimSpace(out), "\n")); got != len(sixAnalyzers) {
+		t.Errorf("-list printed %d analyzers, want %d:\n%s", got, len(sixAnalyzers), out)
+	}
+	for _, name := range sixAnalyzers {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out)
+		}
+	}
+}
+
+// TestBrokenModuleFailsEveryAnalyzer lints a fixture module carrying
+// one violation per analyzer: the exit code must be non-zero and every
+// analyzer must appear among the findings.
+func TestBrokenModuleFailsEveryAnalyzer(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("testdata", "brokenmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr strings.Builder
+	code := run([]string{"-C", dir}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("run(-C brokenmod) = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, name := range sixAnalyzers {
+		if !strings.Contains(out, "["+name+"]") {
+			t.Errorf("no %s finding reported on brokenmod:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(stderr.String(), "finding(s)") {
+		t.Errorf("stderr missing findings summary: %s", stderr.String())
+	}
+}
+
+// TestUnknownFlag pins the usage exit code apart from the findings one.
+func TestUnknownFlag(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run(-no-such-flag) = %d, want 2", code)
+	}
+}

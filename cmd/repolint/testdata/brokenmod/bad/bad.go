@@ -1,0 +1,30 @@
+// Package bad violates every repolint invariant exactly once, so the
+// multichecker test can assert each analyzer reports through the CLI.
+package bad
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	_ "net/http/pprof" // pprofimport violation
+)
+
+// Jitter is an rngsource violation (global RNG draw) and a walltime
+// violation (clock read in a deterministic package).
+func Jitter() time.Duration {
+	return time.Since(time.Now().Add(-time.Duration(rand.Intn(10))))
+}
+
+// Dump is a maporder violation (output in iteration order) and a
+// printguard violation (fmt.Println in library code).
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// Same is a floateq violation.
+func Same(a, b float64) bool {
+	return a == b
+}

@@ -1,0 +1,3 @@
+module brk
+
+go 1.22

@@ -1,0 +1,188 @@
+// Package analysis is the repository's static-analysis framework: a
+// deliberately small, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API (Analyzer, Pass, Diagnostic) plus
+// the six analyzers that encode this codebase's determinism and
+// observability invariants. The toolchain image carries no module cache,
+// so rather than vendoring x/tools (~10k files) the framework is built
+// directly on the standard library's go/ast, go/parser and go/types; the
+// analyzer surface is kept API-shaped like x/tools so the analyzers port
+// verbatim if the dependency ever becomes available.
+//
+// Invariants enforced (one analyzer each; see DESIGN.md §11):
+//
+//   - rngsource:   RNG construction and the global rand functions live
+//     only in internal/randx, the single seeding point.
+//   - walltime:    wall-clock reads (time.Now/Since) only in telemetry,
+//     trace, runner and the CLIs — never in model or solver code.
+//   - maporder:    no map iteration whose body appends, writes output or
+//     draws randomness (iteration-order nondeterminism).
+//   - printguard:  no direct stdout/stderr writes outside cmd/, examples/
+//     and internal/telemetry — output goes through the leveled logger.
+//   - floateq:     no ==/!= on floating-point operands except against a
+//     literal zero or under an explicit waiver.
+//   - pprofimport: net/http/pprof linked only via internal/telemetry.
+//
+// Waivers: a line comment of the form
+//
+//	//lint:<analyzer> <justification>
+//
+// on (or immediately above) the offending line suppresses that analyzer
+// there. A waiver without a justification is itself reported, so every
+// exception in the tree carries its reason.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. The shape matches
+// x/tools/go/analysis so the Run functions are portable.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint: waivers.
+	Name string
+	// Doc is a one-paragraph description of the invariant.
+	Doc string
+	// Run applies the analyzer to a single type-checked package.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer with one type-checked package and a sink
+// for diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // parsed with comments, non-test files only
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// RelPath is the package's import path relative to the module root:
+	// "" for the root package, "internal/mux", "cmd/repro", … Policy
+	// decisions (allowlists) are made against this, never the absolute
+	// import path, so fixture modules exercise the same rules.
+	RelPath string
+
+	report  func(Diagnostic)
+	waivers map[waiverKey][]string // (file,line) -> analyzer names waived
+}
+
+type waiverKey struct {
+	file string
+	line int
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Reportf records a diagnostic at pos unless a //lint:<name> waiver
+// covers the position's line (or the line above it).
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.waivedAt(position) {
+		return
+	}
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (p *Pass) waivedAt(pos token.Position) bool {
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range p.waivers[waiverKey{pos.Filename, line}] {
+			if name == p.Analyzer.Name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// waiverPrefix introduces a suppression comment: //lint:<analyzer> <why>.
+const waiverPrefix = "//lint:"
+
+// collectWaivers indexes every //lint: comment by (file, line) and
+// reports bare waivers that carry no justification — an exception the
+// author couldn't explain is not an exception.
+func collectWaivers(fset *token.FileSet, files []*ast.File, report func(Diagnostic)) map[waiverKey][]string {
+	waivers := make(map[waiverKey][]string)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, waiverPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, waiverPrefix)
+				name, why, _ := strings.Cut(rest, " ")
+				pos := fset.Position(c.Pos())
+				if name == "" || strings.TrimSpace(why) == "" {
+					report(Diagnostic{
+						Analyzer: "waiver",
+						Pos:      pos,
+						Message:  fmt.Sprintf("%s%s waiver needs a justification: //lint:%s <why>", waiverPrefix, name, name),
+					})
+					continue
+				}
+				k := waiverKey{pos.Filename, pos.Line}
+				waivers[k] = append(waivers[k], name)
+			}
+		}
+	}
+	return waivers
+}
+
+// pathAllowed reports whether the module-relative package path rel falls
+// under any of the allowed roots. A root matches its own directory and
+// everything below it: "internal/telemetry" matches internal/telemetry
+// and internal/telemetry/x; "cmd" matches every cmd/* package.
+func pathAllowed(rel string, roots ...string) bool {
+	for _, root := range roots {
+		if rel == root || strings.HasPrefix(rel, root+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgFunc resolves a call expression to (package path, function name) if
+// its function is a selector on an imported package (e.g. time.Now), or
+// ("", "") otherwise.
+func pkgFunc(info *types.Info, call *ast.CallExpr) (pkgPath, name string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := info.Uses[ident].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}
+
+// isBuiltin reports whether the call invokes the named language builtin
+// (append, print, println, …), resolved through the type checker so that
+// shadowing declarations do not fool it.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	ident, ok := call.Fun.(*ast.Ident)
+	if !ok || ident.Name != name {
+		return false
+	}
+	b, ok := info.Uses[ident].(*types.Builtin)
+	return ok && b.Name() == name
+}

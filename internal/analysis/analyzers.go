@@ -1,0 +1,15 @@
+package analysis
+
+// All returns the full analyzer suite in the order cmd/repolint runs it.
+// Adding an analyzer here is all that is needed for it to be enforced by
+// the multichecker, the CI lint job and the repolint registration test.
+func All() []*Analyzer {
+	return []*Analyzer{
+		RNGSource,
+		WallTime,
+		MapOrder,
+		PrintGuard,
+		FloatEq,
+		PprofImport,
+	}
+}

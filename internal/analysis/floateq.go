@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands. After any
+// arithmetic, exact float equality encodes an accident of rounding; the
+// solver and statistics layers must compare against tolerances (or
+// math.Abs(a-b) <= eps). Two escapes are deliberate: comparison against
+// a literal zero (a well-defined sentinel this codebase uses for "unset"
+// or "mass absent"), and an explicit //lint:floateq waiver with a
+// justification, e.g. for exactness proofs on dyadic values.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc: "flags ==/!= on float operands unless one side is a literal zero " +
+		"or the line carries a //lint:floateq waiver",
+	Run: runFloatEq,
+}
+
+func runFloatEq(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			xt, xok := pass.TypesInfo.Types[bin.X]
+			yt, yok := pass.TypesInfo.Types[bin.Y]
+			if !xok || !yok || !isFloat(xt.Type) || !isFloat(yt.Type) {
+				return true
+			}
+			if isZeroConst(xt) || isZeroConst(yt) {
+				return true
+			}
+			pass.Reportf(bin.OpPos,
+				"float %s comparison; compare against a tolerance (or waive with //lint:floateq <why> if exactness is guaranteed)",
+				bin.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isZeroConst reports whether the operand is a compile-time constant
+// equal to zero (0, 0.0, -0.0, a zero-valued named constant, …).
+func isZeroConst(tv types.TypeAndValue) bool {
+	if tv.Value == nil {
+		return false
+	}
+	return constant.Compare(tv.Value, token.EQL, constant.MakeInt64(0))
+}

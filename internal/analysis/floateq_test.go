@@ -1,0 +1,14 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestFloatEq(t *testing.T) {
+	analysistest.Run(t, fixtureModule(t), analysis.FloatEq,
+		"fix/floateq", // flags exact comparison, accepts zero sentinels and waiver
+	)
+}

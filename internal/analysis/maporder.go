@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags `range` statements over maps whose body performs an
+// order-sensitive action: appending to a slice, writing output, or
+// drawing from an RNG. Go randomises map iteration order per run, so any
+// such loop produces run-dependent results — the exact class of bug the
+// golden-manifest gate exists to catch, found here at compile time
+// instead.
+//
+// The one blessed idiom is collect-then-sort: a body that only appends
+// the keys (or values) to a slice which a later statement in the same
+// block passes to the sort or slices package. That loop is recognised
+// and allowed; anything else needs a //lint:maporder waiver with a
+// justification.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flags map iteration whose body appends, writes output or feeds an RNG " +
+		"(iteration-order nondeterminism); collect-then-sort loops are allowed",
+	Run: runMapOrder,
+}
+
+// writeMethods are method names treated as output sinks when called
+// inside a map-range body: the io.Writer surface plus the repo's leveled
+// logger verbs.
+var writeMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Errorf": true, "Warnf": true, "Infof": true, "Debugf": true,
+}
+
+func runMapOrder(pass *Pass) error {
+	if pathAllowed(pass.RelPath, "cmd", "examples") {
+		return nil // CLIs may render maps; simulation results never flow through map order there
+	}
+	for _, f := range pass.Files {
+		// Walk with enough context to see the statements after each
+		// range loop, so the collect-then-sort idiom can be recognised.
+		ast.Inspect(f, func(n ast.Node) bool {
+			body, ok := blockOf(n)
+			if !ok {
+				return true
+			}
+			for i, stmt := range body {
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok || !isMapRange(pass.TypesInfo, rs) {
+					continue
+				}
+				targets, sink := scanMapBody(pass.TypesInfo, rs.Body)
+				if sink != "" {
+					pass.Reportf(rs.Pos(), "%s", sink)
+					continue
+				}
+				for _, target := range targets {
+					if !sortedLater(pass.TypesInfo, body[i+1:], target) {
+						pass.Reportf(rs.Pos(),
+							"map iteration appends to %s in iteration order and it is never sorted; collect, sort, then use",
+							target.Name())
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// blockOf returns the statement list of a block-bearing node.
+func blockOf(n ast.Node) ([]ast.Stmt, bool) {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List, true
+	case *ast.CaseClause:
+		return n.Body, true
+	case *ast.CommClause:
+		return n.Body, true
+	}
+	return nil, false
+}
+
+func isMapRange(info *types.Info, rs *ast.RangeStmt) bool {
+	tv, ok := info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// scanMapBody classifies every order-sensitive action in a map-range
+// body. Appends of the form `s = append(s, …)` (or `:=`) are the
+// collect half of the collect-then-sort idiom: their targets are
+// returned for the caller to check against a later sort. Any other
+// sink — output, RNG draws, an append whose result goes anywhere but a
+// local slice — is returned as a ready-made diagnostic message (first
+// one wins; one finding per loop keeps output readable).
+func scanMapBody(info *types.Info, body *ast.BlockStmt) (targets []types.Object, sink string) {
+	// First pass: sanction appends that are the sole RHS of a
+	// single-variable assignment, recording their collection targets.
+	sanctioned := make(map[*ast.CallExpr]bool)
+	seen := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isBuiltin(info, call, "append") {
+			return true
+		}
+		obj := info.Uses[lhs]
+		if obj == nil {
+			obj = info.Defs[lhs]
+		}
+		if obj == nil {
+			return true
+		}
+		sanctioned[call] = true
+		if !seen[obj] {
+			seen[obj] = true
+			targets = append(targets, obj)
+		}
+		return true
+	})
+
+	// Second pass: hunt sinks. Sanctioned append calls themselves are
+	// fine, but their arguments are still walked (an RNG draw inside an
+	// append argument is order-sensitive all the same).
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isBuiltin(info, call, "append"):
+			if !sanctioned[call] {
+				sink = "map iteration appends to a slice in iteration order; collect keys, sort, then iterate the sorted keys"
+			}
+			return true
+		case isBuiltin(info, call, "print"), isBuiltin(info, call, "println"):
+			sink = "map iteration writes output in iteration order"
+			return false
+		}
+		switch pkg, _ := pkgFunc(info, call); pkg {
+		case "fmt":
+			sink = "map iteration writes output in iteration order"
+			return false
+		case "math/rand", "math/rand/v2":
+			sink = "map iteration feeds an RNG in iteration order; the draw sequence becomes run-dependent"
+			return false
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if selection := info.Selections[sel]; selection != nil && selection.Kind() == types.MethodVal {
+				if writeMethods[sel.Sel.Name] {
+					sink = "map iteration writes output in iteration order via " + sel.Sel.Name
+					return false
+				}
+				if recvIsRand(selection.Recv()) {
+					sink = "map iteration feeds an RNG in iteration order; the draw sequence becomes run-dependent"
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return targets, sink
+}
+
+// sortedLater reports whether a statement after the loop calls into the
+// sort or slices package with the collected variable among its
+// arguments.
+func sortedLater(info *types.Info, rest []ast.Stmt, target types.Object) bool {
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, _ := pkgFunc(info, call)
+			if pkg != "sort" && pkg != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(an ast.Node) bool {
+					if id, ok := an.(*ast.Ident); ok && info.Uses[id] == target {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// recvIsRand reports whether a method receiver type is (a pointer to)
+// math/rand's Rand.
+func recvIsRand(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	return (path == "math/rand" || path == "math/rand/v2") && named.Obj().Name() == "Rand"
+}

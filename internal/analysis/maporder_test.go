@@ -1,0 +1,14 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, fixtureModule(t), analysis.MapOrder,
+		"fix/maporder", // flags append/print/RNG bodies, accepts sort idiom and waiver
+	)
+}

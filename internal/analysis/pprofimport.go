@@ -1,0 +1,38 @@
+package analysis
+
+import (
+	"strconv"
+)
+
+// pprofOwner is the only package allowed to link net/http/pprof, whose
+// import side effect registers handlers on http.DefaultServeMux.
+// Profiling is exposed exclusively through telemetry's opt-in listener.
+const pprofOwner = "internal/telemetry"
+
+// PprofImport is the analyzer form of the boundary previously enforced
+// by internal/telemetry/lint_test.go's go/parser walk (and a CI grep):
+// importing net/http/pprof anywhere else would silently mount profiling
+// endpoints on any default-mux server the process starts.
+var PprofImport = &Analyzer{
+	Name: "pprofimport",
+	Doc:  "flags net/http/pprof imports outside internal/telemetry (import side effect mounts handlers on http.DefaultServeMux)",
+	Run:  runPprofImport,
+}
+
+func runPprofImport(pass *Pass) error {
+	if pathAllowed(pass.RelPath, pprofOwner) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "net/http/pprof" {
+				pass.Reportf(imp.Pos(), "net/http/pprof imported outside %s; profiling is exposed only via the telemetry listener", pprofOwner)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestPprofImport(t *testing.T) {
+	analysistest.Run(t, fixtureModule(t), analysis.PprofImport,
+		"fix/pprof",              // stray import flagged
+		"fix/internal/telemetry", // the exposition package is exempt
+	)
+}

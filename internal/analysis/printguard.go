@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// printAllowed lists the trees that own the process's standard streams:
+// the CLIs and examples (whose whole job is printing) and telemetry
+// (which hosts the leveled logger and so necessarily holds the one
+// os.Stderr default).
+var printAllowed = []string{"cmd", "examples", "internal/telemetry"}
+
+// PrintGuard flags direct standard-stream output in library code:
+// fmt.Print/Printf/Println (implicit stdout), the print/println
+// builtins, and any mention of os.Stdout or os.Stderr. Library packages
+// report through the telemetry logger (or an injected io.Writer), so
+// -quiet/-v behave uniformly and no diagnostic output can interleave
+// with CLI results on stdout.
+var PrintGuard = &Analyzer{
+	Name: "printguard",
+	Doc: "flags fmt.Print*, print/println builtins and os.Stdout/os.Stderr references " +
+		"outside cmd/*, examples/* and internal/telemetry — library output goes through the leveled logger",
+	Run: runPrintGuard,
+}
+
+func runPrintGuard(pass *Pass) error {
+	if pathAllowed(pass.RelPath, printAllowed...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if isBuiltin(pass.TypesInfo, n, "print") || isBuiltin(pass.TypesInfo, n, "println") {
+					pass.Reportf(n.Pos(), "builtin %s writes to stderr; use telemetry.Log", n.Fun.(*ast.Ident).Name)
+					return true
+				}
+				pkg, name := pkgFunc(pass.TypesInfo, n)
+				if pkg == "fmt" && (name == "Print" || name == "Printf" || name == "Println") {
+					pass.Reportf(n.Pos(), "fmt.%s writes to stdout from library code; use telemetry.Log or take an io.Writer", name)
+				}
+			case *ast.SelectorExpr:
+				if n.Sel.Name != "Stdout" && n.Sel.Name != "Stderr" {
+					return true
+				}
+				ident, ok := n.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if pn, ok := pass.TypesInfo.Uses[ident].(*types.PkgName); ok && pn.Imported().Path() == "os" {
+					pass.Reportf(n.Pos(), "os.%s referenced in library code; take an io.Writer or use telemetry.Log", n.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestPrintGuard(t *testing.T) {
+	analysistest.Run(t, fixtureModule(t), analysis.PrintGuard,
+		"fix/print",              // library prints flagged, injected writer accepted
+		"fix/internal/telemetry", // the logger package is exempt
+		"fix/cmd/tool",           // CLIs own their streams
+	)
+}

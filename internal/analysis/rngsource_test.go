@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestRNGSource(t *testing.T) {
+	analysistest.Run(t, fixtureModule(t), analysis.RNGSource,
+		"fix/rng",            // construction and global draws flagged
+		"fix/internal/randx", // the construction point itself is exempt
+	)
+}

@@ -1,0 +1,15 @@
+// Command tool stands in for the real CLIs: cmd/* may read the clock
+// and own stdout/stderr, so walltime and printguard stay silent here.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+func main() {
+	t0 := time.Now()
+	fmt.Println("started", t0)
+	fmt.Fprintln(os.Stderr, "elapsed", time.Since(t0))
+}

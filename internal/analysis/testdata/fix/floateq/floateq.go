@@ -1,0 +1,34 @@
+// Package floateq exercises the floateq analyzer: exact float
+// comparison is a violation unless one side is a literal (or constant)
+// zero or the line carries a justified waiver.
+package floateq
+
+func Eq(a, b float64) bool {
+	return a == b // want "float == comparison"
+}
+
+func Ne(a, b float32) bool {
+	return a != b // want "float != comparison"
+}
+
+// Zero sentinels are exact by construction.
+func Unset(a float64) bool {
+	return a == 0
+}
+
+const zero = 0.0
+
+func UnsetConst(a float64) bool {
+	return zero != a
+}
+
+// Integer comparison must not be confused for a float one.
+func Count(n, m int) bool {
+	return n == m
+}
+
+// Dyadic literals assigned verbatim compare exactly; the waiver records
+// that argument.
+func Half(a float64) bool {
+	return a == 0.5 //lint:floateq 0.5 is dyadic and assigned verbatim upstream, comparison is exact
+}

@@ -1,0 +1,64 @@
+// Package maporder exercises the maporder analyzer: order-sensitive map
+// iteration is a violation, the collect-then-sort idiom and pure
+// commutative accumulation are not, and a justified waiver suppresses.
+package maporder
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Keys appends in iteration order and never sorts: flagged.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration appends to keys in iteration order and it is never sorted"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// SortedKeys is the blessed idiom: append-only body, sorted before use.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Dump writes output in iteration order: flagged.
+func Dump(m map[string]int) {
+	for k, v := range m { // want "map iteration writes output"
+		fmt.Println(k, v)
+	}
+}
+
+// Draw consumes RNG variates in iteration order: flagged.
+func Draw(m map[string]int, r *rand.Rand) int {
+	s := 0
+	for k := range m { // want "map iteration feeds an RNG"
+		s += r.Intn(10) + len(k)
+	}
+	return s
+}
+
+// Sum accumulates commutatively: order cannot matter, not flagged.
+func Sum(m map[string]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// Waived carries a justification, so the finding is suppressed.
+func Waived(m map[string]int) []string {
+	var keys []string
+	//lint:maporder keys feed a histogram whose rendering is order-insensitive
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,14 @@
+// Package pprof exercises the pprofimport analyzer: linking
+// net/http/pprof outside internal/telemetry mounts profiling handlers
+// on http.DefaultServeMux as an import side effect.
+package pprof
+
+import (
+	"net/http"
+
+	_ "net/http/pprof" // want "net/http/pprof imported outside internal/telemetry"
+)
+
+func Serve(addr string) error {
+	return http.ListenAndServe(addr, nil)
+}

@@ -1,0 +1,28 @@
+// Package print exercises the printguard analyzer: implicit-stdout fmt
+// calls, the print builtins and os.Std* references are violations in
+// library code; writing to an injected io.Writer is not.
+package print
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+func Hello() {
+	fmt.Println("hi") // want "fmt.Println writes to stdout"
+	print("x")        // want "builtin print writes to stderr"
+	println("y")      // want "builtin println writes to stderr"
+}
+
+func Fallback(w io.Writer) io.Writer {
+	if w == nil {
+		w = os.Stderr // want "os.Stderr referenced in library code"
+	}
+	return w
+}
+
+// Report writes to a caller-chosen sink: the sanctioned pattern.
+func Report(w io.Writer, msg string) {
+	fmt.Fprintln(w, msg)
+}

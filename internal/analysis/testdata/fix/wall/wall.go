@@ -1,0 +1,19 @@
+// Package wall exercises the walltime analyzer: wall-clock reads in a
+// deterministic package are violations; other time-package uses
+// (durations, tickers handed in from outside) are not.
+package wall
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since reads the wall clock"
+}
+
+// Pure duration arithmetic is fine.
+func Double(d time.Duration) time.Duration {
+	return 2 * d
+}

@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const waiverSrc = `package w
+
+func f(a, b float64) bool {
+	//lint:floateq dyadic operands, comparison is exact
+	x := a == b
+	y := a != b //lint:maporder
+	return x == y
+}
+`
+
+func TestCollectWaivers(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "w.go", waiverSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []Diagnostic
+	waivers := collectWaivers(fset, []*ast.File{f}, func(d Diagnostic) { diags = append(diags, d) })
+
+	if got := waivers[waiverKey{"w.go", 4}]; len(got) != 1 || got[0] != "floateq" {
+		t.Errorf("line 4 waivers = %v, want [floateq]", got)
+	}
+	if got := waivers[waiverKey{"w.go", 6}]; len(got) != 0 {
+		t.Errorf("line 6 waivers = %v, want none (bare waiver must not register)", got)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "waiver" {
+		t.Fatalf("diags = %v, want exactly one bare-waiver report", diags)
+	}
+}
+
+func TestPathAllowed(t *testing.T) {
+	cases := []struct {
+		rel   string
+		roots []string
+		want  bool
+	}{
+		{"internal/randx", []string{"internal/randx"}, true},
+		{"internal/randx/sub", []string{"internal/randx"}, true},
+		{"internal/randxtra", []string{"internal/randx"}, false},
+		{"cmd/repro", []string{"cmd"}, true},
+		{"", []string{"cmd"}, false},
+		{"examples/quickstart", []string{"cmd", "examples"}, true},
+	}
+	for _, c := range cases {
+		if got := pathAllowed(c.rel, c.roots...); got != c.want {
+			t.Errorf("pathAllowed(%q, %v) = %v, want %v", c.rel, c.roots, got, c.want)
+		}
+	}
+}

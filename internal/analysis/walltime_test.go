@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestWallTime(t *testing.T) {
+	analysistest.Run(t, fixtureModule(t), analysis.WallTime,
+		"fix/wall",           // clock reads in model code flagged
+		"fix/internal/trace", // tracing is allowlisted
+		"fix/cmd/tool",       // CLIs are allowlisted
+	)
+}

@@ -72,8 +72,8 @@ func NewGaussianFromACF(name string, mean, variance float64, acf func(k int) flo
 	if acf == nil {
 		return nil, fmt.Errorf("fgn: nil ACF")
 	}
-	if acf(0) != 1 {
-		return nil, fmt.Errorf("fgn: acf(0) = %v, want 1", acf(0))
+	if r0 := acf(0); math.Abs(r0-1) > 1e-12 {
+		return nil, fmt.Errorf("fgn: acf(0) = %v, want 1", r0)
 	}
 	return &Model{
 		H:        0,

@@ -1,0 +1,66 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLeakedFindsBlockedGoroutine pins both directions: a goroutine
+// parked on a channel is reported, and releasing it clears the report.
+func TestLeakedFindsBlockedGoroutine(t *testing.T) {
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-release
+	}()
+
+	// The goroutine may not have parked yet; give it a moment.
+	var leaked []string
+	for i := 0; i < 100; i++ {
+		if leaked = Leaked(); len(leaked) > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if len(leaked) == 0 {
+		t.Fatal("blocked goroutine not reported as leaked")
+	}
+	found := false
+	for _, g := range leaked {
+		if strings.Contains(g, "TestLeakedFindsBlockedGoroutine") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("leak report does not name the leaking test:\n%s", strings.Join(leaked, "\n\n"))
+	}
+
+	close(release)
+	<-done
+	if remaining := WaitClean(graceTotal); len(remaining) != 0 {
+		t.Errorf("goroutines still reported after release:\n%s", strings.Join(remaining, "\n\n"))
+	}
+}
+
+// TestBenignFilters pins the harness filters so a refactor cannot
+// silently start reporting the test framework itself.
+func TestBenignFilters(t *testing.T) {
+	cases := []struct {
+		stack string
+		want  bool
+	}{
+		{"goroutine 1 [running]:\nrepro/internal/leakcheck.stacks(...)", true},
+		{"goroutine 2 [select]:\ntesting.(*M).Run(...)", true},
+		{"goroutine 7 [chan receive]:\nrepro/internal/mux.(*Sweep).worker(...)", false},
+	}
+	for _, c := range cases {
+		if got := benign(c.stack); got != c.want {
+			t.Errorf("benign(%q) = %v, want %v", c.stack, got, c.want)
+		}
+	}
+}
+
+// The package applies its own gate.
+func TestMain(m *testing.M) { Main(m) }

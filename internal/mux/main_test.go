@@ -1,0 +1,12 @@
+package mux
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain gates the package on goroutine leaks: block-streaming
+// generation fans out producers per source, and a consumer that stops
+// early (error, cancelled sweep) must reap them all.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -1,0 +1,12 @@
+package runner
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain gates the package on goroutine leaks: a cancelled sweep or a
+// progress logger whose stop function is lost must not leave workers
+// behind, or concurrently-running engines start sharing fate.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -27,7 +27,6 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -201,13 +200,14 @@ func (e *Engine) Stats() Stats {
 }
 
 // LogProgress starts a goroutine that writes a Stats line to w every
-// interval until the returned stop function is called. A nil w logs to
-// stderr. Stopping flushes one final Stats line (when any work ran) so
-// runs shorter than the interval still report their totals instead of
-// finishing silently.
+// interval until the returned stop function is called. A nil w logs
+// through telemetry.Log at info level, so progress obeys the CLIs'
+// -quiet/-v flags like every other human-readable line. Stopping flushes
+// one final Stats line (when any work ran) so runs shorter than the
+// interval still report their totals instead of finishing silently.
 func (e *Engine) LogProgress(interval time.Duration, w io.Writer) (stop func()) {
 	if w == nil {
-		w = os.Stderr
+		w = telemetry.Log.Writer(telemetry.LevelInfo)
 	}
 	e.logMu.Lock()
 	defer e.logMu.Unlock()

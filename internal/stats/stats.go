@@ -224,6 +224,7 @@ func NormalQuantile(p float64) float64 {
 		switch {
 		case p == 0:
 			return math.Inf(-1)
+		//lint:floateq boundary sentinel: exactly p=1 maps to +Inf, any other p≥1 is an invalid quantile
 		case p == 1:
 			return math.Inf(1)
 		default:

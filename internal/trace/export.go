@@ -146,8 +146,13 @@ func (t *Tracer) Summarize() []Summary {
 		out = append(out, *s)
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].TotalSeconds != out[j].TotalSeconds {
-			return out[i].TotalSeconds > out[j].TotalSeconds
+		// Ordered comparisons instead of a != tie-break: same ordering,
+		// no exact float equality.
+		if out[i].TotalSeconds > out[j].TotalSeconds {
+			return true
+		}
+		if out[i].TotalSeconds < out[j].TotalSeconds {
+			return false
 		}
 		return out[i].Name < out[j].Name
 	})

@@ -35,14 +35,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var est cac.Estimator
-	switch strings.ToLower(*estName) {
-	case "br", "bahadur-rao":
-		est = cac.BahadurRao
-	case "largen", "large-n":
-		est = cac.LargeN
-	default:
-		fatal(fmt.Errorf("unknown estimator %q", *estName))
+	est, err := cac.ParseEstimator(*estName)
+	if err != nil {
+		fatal(err)
 	}
 
 	fmt.Printf("link %.0f cells/s, CLR target %g, estimator %s\n\n",
@@ -57,7 +52,7 @@ func main() {
 		if err != nil || d < 0 {
 			fatal(fmt.Errorf("bad delay %q", f))
 		}
-		link := cac.Link{CellsPerSec: *capacity, Ts: models.Ts, Delay: d / 1000}
+		link := cac.LinkMs(*capacity, models.Ts, d)
 		fmt.Printf("%-12.1f", d)
 		for _, m := range ms {
 			n, err := cac.Admissible(m, link, *clr, est)

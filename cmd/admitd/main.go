@@ -1,0 +1,105 @@
+// Command admitd runs the online admission-control service: an HTTP/JSON
+// daemon answering per-call CAC questions ("can I admit one more source
+// of class X at QoS (delay, CLR)?") for heterogeneous VBR video mixes,
+// with the telemetry exposition endpoints mounted alongside the API.
+//
+// Usage:
+//
+//	admitd [-listen :8080] [-links core:365566:20:1e-6,edge:96000:10:1e-5]
+//	       [-estimator br|largen] [-journal] [-cache 8192] [-v|-quiet]
+//
+// Endpoints: POST /v1/admit, POST /v1/release, GET /v1/links,
+// GET|POST /v1/quote, plus /metrics, /vars and /debug/pprof/.
+//
+// On SIGINT/SIGTERM the daemon drains in-flight requests (5 s bound),
+// then runs a goroutine-leak check and exits non-zero if any worker
+// survived the drain — the same gate the test suite applies, so a leaky
+// build cannot pass a smoke run.
+package main
+
+import (
+	"context"
+	"flag"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/admitd"
+	"repro/internal/cac"
+	"repro/internal/leakcheck"
+	"repro/internal/telemetry"
+)
+
+var logx = telemetry.Log
+
+func main() {
+	var (
+		listen    = flag.String("listen", ":8080", "address to serve on (host:port; port 0 for ephemeral)")
+		links     = flag.String("links", "core:365566:20:1e-6", "comma-separated link specs, name:cells_per_sec:delay_ms:clr")
+		estName   = flag.String("estimator", "br", "overflow estimator: br (Bahadur-Rao) or largen")
+		journal   = flag.Bool("journal", false, "record the admit/release journal (unbounded memory; for audits and soaks)")
+		cacheSize = flag.Int("cache", admitd.DefaultCacheSize, "per-link decision cache entries per generation")
+		verbose   = flag.Bool("v", false, "debug logging")
+		quiet     = flag.Bool("quiet", false, "errors only")
+	)
+	flag.Parse()
+	logx.SetPrefix("admitd")
+	switch {
+	case *verbose:
+		logx.SetLevel(telemetry.LevelDebug)
+	case *quiet:
+		logx.SetLevel(telemetry.LevelError)
+	}
+
+	est, err := cac.ParseEstimator(*estName)
+	if err != nil {
+		fatal(err)
+	}
+	lcs, err := admitd.ParseLinkSpecs(*links)
+	if err != nil {
+		fatal(err)
+	}
+	srv := admitd.NewServer(admitd.Config{
+		Estimator: est,
+		Registry:  telemetry.Default,
+		Journal:   *journal,
+		CacheSize: *cacheSize,
+	})
+	for _, lc := range lcs {
+		if err := srv.AddLink(lc); err != nil {
+			fatal(err)
+		}
+	}
+
+	addr, err := srv.Start(*listen)
+	if err != nil {
+		fatal(err)
+	}
+	logx.Infof("serving on %s (links %s, estimator %s, journal %v)",
+		addr, strings.Join(srv.LinkNames(), ","), est, *journal)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	sig := <-sigc
+	signal.Stop(sigc)
+	logx.Infof("%v: draining", sig)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fatal(err)
+	}
+	if leaked := leakcheck.WaitClean(3 * time.Second); len(leaked) > 0 {
+		logx.Errorf("%d goroutine(s) survived the drain:\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+		os.Exit(1)
+	}
+	logx.Infof("drained clean")
+}
+
+func fatal(err error) {
+	logx.Errorf("%v", err)
+	os.Exit(1)
+}

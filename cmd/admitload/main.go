@@ -1,0 +1,196 @@
+// Command admitload is the closed-loop load generator for admitd: worker
+// pools drive admit/release session churn across weighted source classes
+// and report achieved decision throughput and client-observed latency
+// quantiles.
+//
+// Two transports:
+//
+//	admitload -addr http://127.0.0.1:8080        # drive a running daemon
+//	admitload -inproc                            # self-contained: spin an
+//	                                             # in-process server and
+//	                                             # measure the decision path
+//
+// In -inproc mode the run also records the admit/release journal and
+// replays it through the batch feasibility check afterwards, so a single
+// invocation demonstrates the service's capacity-safety invariant:
+//
+//	admitload -inproc -decisions 200000 -workers 8
+//
+// Usage:
+//
+//	admitload [-addr URL | -inproc] [-links core:365566:20:1e-6]
+//	          [-classes 'z:0.975*3,dar:0.975:1*2,l*1'] [-workers 8]
+//	          [-decisions 100000] [-maxactive 64] [-bias 0.55]
+//	          [-duration 0] [-seed 1996] [-estimator br] [-quiet]
+//
+// The exit status is non-zero if any request failed (non-2xx / transport
+// error) or, in -inproc mode, if the journal replay finds an infeasible
+// admitted state.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/admitd"
+	"repro/internal/admitd/loadgen"
+	"repro/internal/cac"
+	"repro/internal/telemetry"
+)
+
+var logx = telemetry.Log
+
+func main() {
+	var (
+		addr      = flag.String("addr", "", "base URL of a running admitd (e.g. http://127.0.0.1:8080)")
+		inproc    = flag.Bool("inproc", false, "run against an in-process server instead of -addr")
+		links     = flag.String("links", "core:365566:20:1e-6", "link specs for -inproc; for -addr, the link names to target (name:... specs also accepted)")
+		classes   = flag.String("classes", "z:0.975*3,dar:0.975:1*2,l*1", "weighted class list, spec*weight comma-separated")
+		workers   = flag.Int("workers", 8, "concurrent closed-loop workers")
+		decisions = flag.Int64("decisions", 100000, "total decision budget (admits+releases, 0 = run until -duration)")
+		maxactive = flag.Int("maxactive", 64, "active sessions held per worker")
+		bias      = flag.Float64("bias", 0.55, "probability of admit over release when sessions are held")
+		duration  = flag.Duration("duration", 0, "wall-clock bound (0 = budget only)")
+		seedFlag  = flag.Int64("seed", 1996, "master seed for the per-worker RNGs")
+		estName   = flag.String("estimator", "br", "overflow estimator for -inproc: br or largen")
+		qosDelay  = flag.Float64("qos-delay", 0, "per-request delay bound override in ms (0 = link default)")
+		qosCLR    = flag.Float64("qos-clr", 0, "per-request CLR override (0 = link default)")
+		quiet     = flag.Bool("quiet", false, "errors and the report only")
+	)
+	flag.Parse()
+	logx.SetPrefix("admitload")
+	if *quiet {
+		logx.SetLevel(telemetry.LevelError)
+	}
+	if (*addr == "") == !*inproc {
+		fatal(fmt.Errorf("exactly one of -addr or -inproc is required"))
+	}
+
+	classList, err := parseClasses(*classes)
+	if err != nil {
+		fatal(err)
+	}
+	lcs, err := admitd.ParseLinkSpecs(*links)
+	if err != nil {
+		fatal(err)
+	}
+	linkNames := make([]string, len(lcs))
+	for i, lc := range lcs {
+		linkNames[i] = lc.Name
+	}
+
+	var client loadgen.Client
+	var srv *admitd.Server
+	if *inproc {
+		est, err := cac.ParseEstimator(*estName)
+		if err != nil {
+			fatal(err)
+		}
+		srv = admitd.NewServer(admitd.Config{Estimator: est, Journal: true})
+		for _, lc := range lcs {
+			if err := srv.AddLink(lc); err != nil {
+				fatal(err)
+			}
+		}
+		client = loadgen.Direct{Srv: srv}
+		logx.Infof("in-process server: links %s, estimator %s", strings.Join(linkNames, ","), est)
+	} else {
+		client = loadgen.HTTP{Base: strings.TrimRight(*addr, "/")}
+		logx.Infof("driving %s: links %s", *addr, strings.Join(linkNames, ","))
+	}
+
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if *duration > 0 {
+		ctx, cancel = context.WithTimeout(ctx, *duration)
+		defer cancel()
+	}
+	reg := telemetry.NewRegistry()
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		Links:              linkNames,
+		Classes:            classList,
+		Workers:            *workers,
+		MaxActivePerWorker: *maxactive,
+		Decisions:          *decisions,
+		AdmitBias:          *bias,
+		Seed:               *seedFlag,
+		Registry:           reg,
+		QoSDelayMs:         *qosDelay,
+		QoSCLR:             *qosCLR,
+	}, client)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("decisions  %d (admits %d: %d admitted / %d rejected; releases %d)\n",
+		rep.Decisions, rep.Admits, rep.Admitted, rep.Rejected, rep.Releases)
+	fmt.Printf("elapsed    %v\n", rep.Elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput %.0f decisions/sec\n", rep.QPS)
+	fmt.Printf("latency    p50 %v  p95 %v  p99 %v (client-observed)\n", rep.P50, rep.P95, rep.P99)
+	fmt.Printf("errors     %d\n", rep.Errors)
+
+	exit := 0
+	if rep.Errors > 0 {
+		logx.Errorf("%d request(s) failed", rep.Errors)
+		exit = 1
+	}
+	if srv != nil {
+		// Server-side decision quantiles (no transport in the way) and the
+		// capacity-safety audit.
+		for _, name := range linkNames {
+			st, err := srv.DecisionStats(name)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("link %-8s decisions %d  p50 %s  p95 %s  p99 %s (server-side)\n",
+				name, st.Count, secs(st.P50), secs(st.P95), secs(st.P99))
+			replay, err := srv.ReplayJournal(name)
+			if err != nil {
+				logx.Errorf("journal replay: %v", err)
+				exit = 1
+				continue
+			}
+			fmt.Printf("link %-8s replay: %d events, %d distinct admitted states all feasible, final active %d\n",
+				name, replay.Events, replay.States, replay.FinalActive)
+		}
+	}
+	os.Exit(exit)
+}
+
+// parseClasses parses "spec*weight,..." ('*weight' optional, default 1).
+func parseClasses(s string) ([]loadgen.Class, error) {
+	var out []loadgen.Class
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		spec, weight := f, 1.0
+		if i := strings.LastIndexByte(f, '*'); i >= 0 {
+			w, err := strconv.ParseFloat(f[i+1:], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad class weight in %q: %w", f, err)
+			}
+			spec, weight = f[:i], w
+		}
+		out = append(out, loadgen.Class{Spec: spec, Weight: weight})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no classes in %q", s)
+	}
+	return out, nil
+}
+
+func secs(v float64) string {
+	return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+func fatal(err error) {
+	logx.Errorf("%v", err)
+	os.Exit(1)
+}

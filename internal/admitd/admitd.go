@@ -1,0 +1,290 @@
+// Package admitd is the online admission-control service: a long-running
+// server that answers "can I admit one more source of class X at QoS
+// (delay b, CLR ε)?" for heterogeneous mixes of VBR video sources, built
+// directly on the batch machinery in internal/cac and internal/core.
+//
+// The paper's closing argument (§5.4) is that cheap Markov-fit models
+// capture everything that matters for connection admission control, so CAC
+// can run online, per call, at switch speed. This package operationalises
+// that claim: per-link admission state with serialized admit/release (two
+// racing requests can never both be admitted past capacity), a decision
+// cache keyed by the canonical mix signature so repeated decisions against
+// an unchanged mix are O(1) map lookups, an HTTP/JSON API served alongside
+// the telemetry exposition endpoints, and an append-only admit/release
+// journal that replays through batch cac.MixMeetsTarget to prove every
+// admitted state was feasible.
+//
+// Concurrency model: the server-level link table is guarded by an RWMutex
+// and is read-mostly after startup. Each link carries its own mutex;
+// admission decisions — feasibility evaluation and the state mutation they
+// authorise — happen atomically under that lock, which is the correctness
+// anchor of the whole service. Decisions are microsecond-scale (the moment
+// caches make each feasibility check an O(classes) scan over memoised ACF
+// prefix sums), so per-link serialization sustains tens of thousands of
+// decisions per second; scale across links, not within one.
+package admitd
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/cac"
+	"repro/internal/models"
+	"repro/internal/modelspec"
+	"repro/internal/telemetry"
+	"repro/internal/traffic"
+)
+
+// DefaultCacheSize bounds each link's decision cache (two generations of
+// at most this many entries each). Session churn revisits the same
+// neighbourhood of the counts lattice constantly, so a few thousand
+// entries cover the working set near the admission boundary.
+const DefaultCacheSize = 8192
+
+// Config parameterises a Server.
+type Config struct {
+	// Estimator selects the overflow estimate backing every decision.
+	// The zero value is cac.BahadurRao, the paper's refined asymptotic.
+	Estimator cac.Estimator
+	// Registry receives the service metrics; nil uses a private registry
+	// (read it back via Server.Registry).
+	Registry *telemetry.Registry
+	// Journal enables the per-link append-only admit/release journal used
+	// by the soak harness to replay every admitted state through batch
+	// feasibility checks. Off by default: the journal grows without bound.
+	Journal bool
+	// CacheSize overrides DefaultCacheSize when positive.
+	CacheSize int
+}
+
+// Server is the admission-control service state: a set of links, a class
+// registry resolving model specs to cached moment views, and the metric
+// instruments. Create with NewServer; all methods are safe for concurrent
+// use.
+type Server struct {
+	cfg Config
+	reg *telemetry.Registry
+
+	mu    sync.RWMutex
+	links map[string]*linkState
+
+	classMu sync.RWMutex
+	classes map[string]*class
+
+	httpMu   sync.Mutex
+	httpSrv  *http.Server
+	httpDone chan struct{}
+
+	reqCount func(endpoint, code string) *telemetry.Counter
+	reqTimer func(endpoint string) *telemetry.Timer
+}
+
+// class is one resolved traffic class: the canonical spec string and the
+// shared cached second-order view of its model. One Moments per spec per
+// server means every decision against the class reuses one memoised ACF
+// prefix-sum table.
+type class struct {
+	spec string
+	mo   *traffic.Moments
+}
+
+// NewServer builds an empty server; add links with AddLink.
+func NewServer(cfg Config) *Server {
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = DefaultCacheSize
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	s := &Server{
+		cfg:     cfg,
+		reg:     reg,
+		links:   make(map[string]*linkState),
+		classes: make(map[string]*class),
+	}
+	s.reqCount = func(endpoint, code string) *telemetry.Counter {
+		return reg.Counter("admitd_http_requests_total",
+			telemetry.L("endpoint", endpoint), telemetry.L("code", code))
+	}
+	s.reqTimer = func(endpoint string) *telemetry.Timer {
+		return reg.Timer("admitd_http_seconds", telemetry.L("endpoint", endpoint))
+	}
+	return s
+}
+
+// Registry returns the registry holding the service metrics.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// Estimator returns the configured overflow estimator.
+func (s *Server) Estimator() cac.Estimator { return s.cfg.Estimator }
+
+// CanonicalSpec normalises a class spec for use as a registry key and
+// signature component: lowercased, surrounding space trimmed.
+func CanonicalSpec(spec string) string {
+	return strings.ToLower(strings.TrimSpace(spec))
+}
+
+// resolveClass returns the class for a model spec, parsing and caching it
+// on first use.
+func (s *Server) resolveClass(spec string) (*class, error) {
+	key := CanonicalSpec(spec)
+	if key == "" {
+		return nil, fmt.Errorf("admitd: empty class spec")
+	}
+	s.classMu.RLock()
+	c, ok := s.classes[key]
+	s.classMu.RUnlock()
+	if ok {
+		return c, nil
+	}
+	m, err := modelspec.Parse(key)
+	if err != nil {
+		return nil, err
+	}
+	s.classMu.Lock()
+	defer s.classMu.Unlock()
+	if c, ok = s.classes[key]; ok { // lost a parse race; keep the winner
+		return c, nil
+	}
+	c = &class{spec: key, mo: traffic.NewMoments(m)}
+	s.classes[key] = c
+	return c, nil
+}
+
+// LinkConfig describes one link to AddLink and ParseLinkSpec.
+type LinkConfig struct {
+	// Name identifies the link in requests and metrics labels.
+	Name string `json:"name"`
+	// CellsPerSec is the link capacity.
+	CellsPerSec float64 `json:"cells_per_sec"`
+	// Ts is the video frame duration in seconds; 0 selects the standard
+	// 25 frames/s (models.Ts) shared by every model in the repository.
+	Ts float64 `json:"ts,omitempty"`
+	// DelayMs is the queueing-delay bound in milliseconds (sizes the
+	// buffer, exactly as in cmd/admit).
+	DelayMs float64 `json:"delay_ms"`
+	// CLR is the cell-loss-rate target of the link's service contract.
+	CLR float64 `json:"clr"`
+}
+
+// AddLink registers a link. The link's (DelayMs, CLR) pair is its service
+// contract: every admission decision enforces it, so the admitted mix can
+// never violate it regardless of per-request QoS overrides.
+func (s *Server) AddLink(lc LinkConfig) error {
+	if lc.Name == "" {
+		return fmt.Errorf("admitd: link needs a name")
+	}
+	if lc.Ts <= 0 {
+		lc.Ts = models.Ts
+	}
+	link := cac.LinkMs(lc.CellsPerSec, lc.Ts, lc.DelayMs)
+	if err := link.Validate(); err != nil {
+		return fmt.Errorf("admitd: link %q: %w", lc.Name, err)
+	}
+	if lc.CLR <= 0 || lc.CLR >= 1 {
+		return fmt.Errorf("admitd: link %q: CLR target %v outside (0, 1)", lc.Name, lc.CLR)
+	}
+	st := newLinkState(lc, link, s.cfg, s.reg)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.links[lc.Name]; dup {
+		return fmt.Errorf("admitd: link %q already registered", lc.Name)
+	}
+	s.links[lc.Name] = st
+	return nil
+}
+
+// linkByName resolves a link or reports the known names.
+func (s *Server) linkByName(name string) (*linkState, error) {
+	s.mu.RLock()
+	st, ok := s.links[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("admitd: unknown link %q", name)
+	}
+	return st, nil
+}
+
+// LinkNames returns the registered link names, sorted.
+func (s *Server) LinkNames() []string {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.links))
+	for name := range s.links {
+		names = append(names, name)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Links returns a point-in-time status of every link, sorted by name.
+func (s *Server) Links() []LinkStatus {
+	names := s.LinkNames()
+	out := make([]LinkStatus, 0, len(names))
+	for _, name := range names {
+		st, err := s.linkByName(name)
+		if err != nil {
+			continue // removed concurrently; nothing to report
+		}
+		out = append(out, st.status())
+	}
+	return out
+}
+
+// FlushCaches empties every link's decision cache (used by benchmarks to
+// measure the cold path, and available to operators after a model-library
+// change).
+func (s *Server) FlushCaches() {
+	for _, name := range s.LinkNames() {
+		if st, err := s.linkByName(name); err == nil {
+			st.mu.Lock()
+			st.cache.flush()
+			st.mu.Unlock()
+		}
+	}
+}
+
+// ParseLinkSpec parses the "name:cells_per_sec:delay_ms:clr" form the CLIs
+// use, e.g. "core:365566:20:1e-6".
+func ParseLinkSpec(spec string) (LinkConfig, error) {
+	parts := strings.Split(strings.TrimSpace(spec), ":")
+	if len(parts) != 4 {
+		return LinkConfig{}, fmt.Errorf("admitd: want name:cells_per_sec:delay_ms:clr, got %q", spec)
+	}
+	var lc LinkConfig
+	lc.Name = strings.TrimSpace(parts[0])
+	if _, err := fmt.Sscanf(parts[1], "%g", &lc.CellsPerSec); err != nil {
+		return LinkConfig{}, fmt.Errorf("admitd: bad capacity in %q: %w", spec, err)
+	}
+	if _, err := fmt.Sscanf(parts[2], "%g", &lc.DelayMs); err != nil {
+		return LinkConfig{}, fmt.Errorf("admitd: bad delay in %q: %w", spec, err)
+	}
+	if _, err := fmt.Sscanf(parts[3], "%g", &lc.CLR); err != nil {
+		return LinkConfig{}, fmt.Errorf("admitd: bad CLR in %q: %w", spec, err)
+	}
+	return lc, nil
+}
+
+// ParseLinkSpecs parses a comma-separated list of link specs.
+func ParseLinkSpecs(specs string) ([]LinkConfig, error) {
+	var out []LinkConfig
+	for _, s := range strings.Split(specs, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		lc, err := ParseLinkSpec(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, lc)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("admitd: no links in %q", specs)
+	}
+	return out, nil
+}

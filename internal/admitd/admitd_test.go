@@ -1,0 +1,355 @@
+package admitd_test
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/admitd"
+	"repro/internal/cac"
+	"repro/internal/models"
+	"repro/internal/modelspec"
+	"repro/internal/traffic"
+)
+
+// Link fixtures: "big" is the 155 Mb/s OC-3 style link the paper's batch
+// experiments use; "small" is sized so the single-class admissible region
+// is a couple dozen sources — races and boundary behavior stay cheap.
+var (
+	bigLink   = admitd.LinkConfig{Name: "big", CellsPerSec: 365566, DelayMs: 20, CLR: 1e-6}
+	smallLink = admitd.LinkConfig{Name: "small", CellsPerSec: 96000, DelayMs: 10, CLR: 1e-5}
+)
+
+const zClass = "z:0.975"
+
+func newTestServer(t *testing.T, journal bool, links ...admitd.LinkConfig) *admitd.Server {
+	t.Helper()
+	srv := admitd.NewServer(admitd.Config{Journal: journal})
+	for _, lc := range links {
+		if err := srv.AddLink(lc); err != nil {
+			t.Fatalf("AddLink(%+v): %v", lc, err)
+		}
+	}
+	return srv
+}
+
+func TestAddLinkValidation(t *testing.T) {
+	srv := admitd.NewServer(admitd.Config{})
+	cases := []struct {
+		name string
+		lc   admitd.LinkConfig
+	}{
+		{"empty name", admitd.LinkConfig{CellsPerSec: 1000, DelayMs: 10, CLR: 1e-6}},
+		{"zero capacity", admitd.LinkConfig{Name: "l", CellsPerSec: 0, DelayMs: 10, CLR: 1e-6}},
+		{"negative delay", admitd.LinkConfig{Name: "l", CellsPerSec: 1000, DelayMs: -1, CLR: 1e-6}},
+		{"zero CLR", admitd.LinkConfig{Name: "l", CellsPerSec: 1000, DelayMs: 10, CLR: 0}},
+		{"CLR one", admitd.LinkConfig{Name: "l", CellsPerSec: 1000, DelayMs: 10, CLR: 1}},
+	}
+	for _, tc := range cases {
+		if err := srv.AddLink(tc.lc); err == nil {
+			t.Errorf("%s: AddLink accepted %+v", tc.name, tc.lc)
+		}
+	}
+	if err := srv.AddLink(bigLink); err != nil {
+		t.Fatalf("valid link rejected: %v", err)
+	}
+	if err := srv.AddLink(bigLink); err == nil {
+		t.Error("duplicate link name accepted")
+	}
+}
+
+func TestParseLinkSpec(t *testing.T) {
+	lc, err := admitd.ParseLinkSpec(" core:365566:20:1e-6 ")
+	if err != nil {
+		t.Fatalf("ParseLinkSpec: %v", err)
+	}
+	want := admitd.LinkConfig{Name: "core", CellsPerSec: 365566, DelayMs: 20, CLR: 1e-6}
+	if lc != want {
+		t.Errorf("ParseLinkSpec = %+v, want %+v", lc, want)
+	}
+	for _, bad := range []string{"", "core", "core:1:2", "core:1:2:3:4", "core:x:2:1e-6", "core:1:x:1e-6", "core:1:2:x"} {
+		if _, err := admitd.ParseLinkSpec(bad); err == nil {
+			t.Errorf("ParseLinkSpec(%q) accepted", bad)
+		}
+	}
+	lcs, err := admitd.ParseLinkSpecs("a:96000:10:1e-5, b:365566:20:1e-6,")
+	if err != nil || len(lcs) != 2 || lcs[0].Name != "a" || lcs[1].Name != "b" {
+		t.Errorf("ParseLinkSpecs = %+v, %v", lcs, err)
+	}
+	if _, err := admitd.ParseLinkSpecs(" , "); err == nil {
+		t.Error("ParseLinkSpecs of empty list accepted")
+	}
+}
+
+func TestCanonicalSpecAndMixSignature(t *testing.T) {
+	if got := admitd.CanonicalSpec("  Z:0.975 "); got != "z:0.975" {
+		t.Errorf("CanonicalSpec = %q", got)
+	}
+	sig := admitd.MixSignature([]admitd.ClassCount{
+		{Class: "Z:0.975", Count: 3},
+		{Class: "dar:0.975:1", Count: 2},
+	})
+	if sig != "dar:0.975:1*2,z:0.975*3" {
+		t.Errorf("MixSignature = %q", sig)
+	}
+	// Order of the input must not matter.
+	sig2 := admitd.MixSignature([]admitd.ClassCount{
+		{Class: "dar:0.975:1", Count: 2},
+		{Class: "z:0.975", Count: 3},
+	})
+	if sig2 != sig {
+		t.Errorf("MixSignature order-dependent: %q vs %q", sig, sig2)
+	}
+}
+
+func TestAdmitReleaseLifecycle(t *testing.T) {
+	srv := newTestServer(t, true, bigLink)
+
+	resp, err := srv.Admit(admitd.AdmitRequest{Link: "big", Class: zClass})
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	if !resp.Admitted || resp.Active != 1 || resp.Count != 1 || resp.CacheHit {
+		t.Errorf("first admit = %+v", resp)
+	}
+	if resp.Utilization <= 0 || resp.Utilization >= 1 {
+		t.Errorf("utilization %v outside (0, 1)", resp.Utilization)
+	}
+
+	// Count > 1 admits in one decision.
+	resp, err = srv.Admit(admitd.AdmitRequest{Link: "big", Class: zClass, Count: 3})
+	if err != nil || !resp.Admitted || resp.Active != 4 {
+		t.Fatalf("batch admit = %+v, %v", resp, err)
+	}
+
+	st := srv.Links()
+	if len(st) != 1 || st[0].Active != 4 || st[0].Signature != "z:0.975*4" {
+		t.Errorf("Links = %+v", st)
+	}
+
+	rel, err := srv.Release(admitd.ReleaseRequest{Link: "big", Class: "Z:0.975 ", Count: 4})
+	if err != nil || rel.Active != 0 || rel.MeanLoad != 0 {
+		t.Fatalf("release = %+v, %v", rel, err)
+	}
+	if _, err := srv.Release(admitd.ReleaseRequest{Link: "big", Class: zClass}); err == nil {
+		t.Error("release on empty link accepted")
+	}
+
+	// The journal saw every granted event.
+	events, err := srv.Journal("big")
+	if err != nil || len(events) != 3 {
+		t.Fatalf("journal = %d events, %v", len(events), err)
+	}
+	rep, err := srv.ReplayJournal("big")
+	if err != nil {
+		t.Fatalf("ReplayJournal: %v", err)
+	}
+	if rep.Admits != 2 || rep.Releases != 1 || rep.FinalActive != 0 {
+		t.Errorf("replay = %+v", rep)
+	}
+}
+
+func TestAdmitErrors(t *testing.T) {
+	srv := newTestServer(t, false, bigLink)
+	cases := []struct {
+		name string
+		req  admitd.AdmitRequest
+	}{
+		{"unknown link", admitd.AdmitRequest{Link: "nope", Class: zClass}},
+		{"empty class", admitd.AdmitRequest{Link: "big"}},
+		{"bad class", admitd.AdmitRequest{Link: "big", Class: "quux:1"}},
+		{"negative count", admitd.AdmitRequest{Link: "big", Class: zClass, Count: -2}},
+		{"request CLR ≥ 1", admitd.AdmitRequest{Link: "big", Class: zClass, CLR: 2}},
+	}
+	for _, tc := range cases {
+		if _, err := srv.Admit(tc.req); err == nil {
+			t.Errorf("%s: Admit accepted %+v", tc.name, tc.req)
+		}
+	}
+	if _, err := srv.Release(admitd.ReleaseRequest{Link: "nope", Class: zClass}); err == nil {
+		t.Error("release on unknown link accepted")
+	}
+	if _, err := srv.Release(admitd.ReleaseRequest{Link: "big", Class: zClass, Count: -1}); err == nil {
+		t.Error("negative release count accepted")
+	}
+}
+
+func TestDryRunAndDecisionCache(t *testing.T) {
+	srv := newTestServer(t, false, bigLink)
+
+	r1, err := srv.Admit(admitd.AdmitRequest{Link: "big", Class: zClass, DryRun: true})
+	if err != nil || !r1.Admitted || r1.Active != 0 || r1.Seq != 0 {
+		t.Fatalf("dry-run = %+v, %v (must not mutate)", r1, err)
+	}
+	if r1.CacheHit {
+		t.Error("first decision was a cache hit")
+	}
+	// Same mix, same question: served from the cache.
+	r2, err := srv.Admit(admitd.AdmitRequest{Link: "big", Class: zClass, DryRun: true})
+	if err != nil || !r2.CacheHit {
+		t.Fatalf("repeat dry-run = %+v, %v (want cache hit)", r2, err)
+	}
+	// The real admit asks the same (signature, class, count) question.
+	r3, err := srv.Admit(admitd.AdmitRequest{Link: "big", Class: zClass})
+	if err != nil || !r3.Admitted || !r3.CacheHit || r3.Active != 1 {
+		t.Fatalf("admit = %+v, %v", r3, err)
+	}
+	// The mix changed, so the signature-embedded key makes the old entry
+	// unreachable: the next decision recomputes.
+	r4, err := srv.Admit(admitd.AdmitRequest{Link: "big", Class: zClass, DryRun: true})
+	if err != nil || r4.CacheHit {
+		t.Fatalf("post-mutation dry-run = %+v, %v (want miss)", r4, err)
+	}
+	// A per-request QoS override is a distinct cache key.
+	r5, err := srv.Admit(admitd.AdmitRequest{Link: "big", Class: zClass, DryRun: true, DelayMs: 5})
+	if err != nil || r5.CacheHit {
+		t.Fatalf("QoS dry-run = %+v, %v (want miss)", r5, err)
+	}
+
+	srv.FlushCaches()
+	r6, err := srv.Admit(admitd.AdmitRequest{Link: "big", Class: zClass, DryRun: true})
+	if err != nil || r6.CacheHit {
+		t.Fatalf("post-flush dry-run = %+v, %v (want miss)", r6, err)
+	}
+
+	// The hit/miss counters saw all of the above.
+	var hits, misses float64
+	for _, snap := range srv.Registry().Snapshot() {
+		if snap.Name != "admitd_cache_total" {
+			continue
+		}
+		switch snap.Labels["result"] {
+		case "hit":
+			hits = snap.Value
+		case "miss":
+			misses = snap.Value
+		}
+	}
+	if hits != 2 || misses != 4 {
+		t.Errorf("cache counters: %v hits / %v misses, want 2/4", hits, misses)
+	}
+}
+
+// TestRequestQoSNeverLoosensContract checks the QoS-override semantics: the
+// link contract is always enforced, so a request admitted under a tighter
+// per-request QoS must also be admissible at the link default.
+func TestRequestQoSNeverLoosensContract(t *testing.T) {
+	srv := newTestServer(t, false, smallLink)
+	for n := 1; ; n++ {
+		tight, err := srv.Admit(admitd.AdmitRequest{
+			Link: "small", Class: zClass, Count: n, DryRun: true,
+			DelayMs: 1, CLR: 1e-9,
+		})
+		if err != nil {
+			t.Fatalf("tight dry-run n=%d: %v", n, err)
+		}
+		deflt, err := srv.Admit(admitd.AdmitRequest{Link: "small", Class: zClass, Count: n, DryRun: true})
+		if err != nil {
+			t.Fatalf("default dry-run n=%d: %v", n, err)
+		}
+		if tight.Admitted && !deflt.Admitted {
+			t.Fatalf("n=%d admitted under tighter QoS but not under the link contract", n)
+		}
+		if !deflt.Admitted {
+			break // past the boundary for both; implication held throughout
+		}
+		if n > 10000 {
+			t.Fatal("never hit the admission boundary; link fixture far too large")
+		}
+	}
+}
+
+// TestConcurrentAdmitRaceToCapacity is the capacity-safety test: 2K
+// goroutines race to admit one source each on a link that fits exactly K.
+// Per-link serialization must admit exactly K — never K+1 — and the
+// journal replay must find every admitted state feasible.
+func TestConcurrentAdmitRaceToCapacity(t *testing.T) {
+	// Ground truth from the batch machinery.
+	m, err := modelspec.Parse(zClass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := cac.LinkMs(smallLink.CellsPerSec, models.Ts, smallLink.DelayMs)
+	k, err := cac.MaxAdditional(nil, traffic.NewMoments(m), link, smallLink.CLR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < 2 {
+		t.Fatalf("MaxAdditional = %d; fixture too small to race", k)
+	}
+
+	srv := newTestServer(t, true, smallLink)
+	var admitted, rejected, errs atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 2*k; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := srv.Admit(admitd.AdmitRequest{Link: "small", Class: zClass})
+			switch {
+			case err != nil:
+				errs.Add(1)
+			case resp.Admitted:
+				admitted.Add(1)
+			default:
+				rejected.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if errs.Load() != 0 {
+		t.Fatalf("%d admit errors", errs.Load())
+	}
+	if admitted.Load() != int64(k) || rejected.Load() != int64(k) {
+		t.Errorf("race admitted %d / rejected %d, want exactly %d / %d",
+			admitted.Load(), rejected.Load(), k, k)
+	}
+	if st := srv.Links()[0]; st.Active != k {
+		t.Errorf("link active = %d, want %d", st.Active, k)
+	}
+	rep, err := srv.ReplayJournal("small")
+	if err != nil {
+		t.Fatalf("replay after race: %v", err)
+	}
+	if rep.Admits != k || rep.FinalActive != k {
+		t.Errorf("replay = %+v, want %d admits and final active", rep, k)
+	}
+}
+
+func TestDecisionStats(t *testing.T) {
+	srv := newTestServer(t, false, bigLink)
+	for i := 0; i < 5; i++ {
+		if _, err := srv.Admit(admitd.AdmitRequest{Link: "big", Class: zClass}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := srv.DecisionStats("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Count != 5 {
+		t.Errorf("decision count = %d, want 5", st.Count)
+	}
+	if st.P99 <= 0 || st.P99 > 1 {
+		t.Errorf("p99 = %v s; implausible", st.P99)
+	}
+	if _, err := srv.DecisionStats("nope"); err == nil || !strings.Contains(err.Error(), "unknown link") {
+		t.Errorf("DecisionStats(nope) = %v", err)
+	}
+}
+
+func TestJournalDisabledByDefault(t *testing.T) {
+	srv := newTestServer(t, false, bigLink)
+	if _, err := srv.Admit(admitd.AdmitRequest{Link: "big", Class: zClass}); err != nil {
+		t.Fatal(err)
+	}
+	events, err := srv.Journal("big")
+	if err != nil || len(events) != 0 {
+		t.Errorf("journal off: %d events, %v", len(events), err)
+	}
+	if _, err := srv.Journal("nope"); err == nil {
+		t.Error("Journal(nope) accepted")
+	}
+}

@@ -1,0 +1,75 @@
+package admitd
+
+// decisionCache memoises admission decisions. Keys embed the canonical
+// mix signature (see linkState.cacheKey), which gives the two properties
+// the service needs:
+//
+//   - Correctness without explicit invalidation: the moment a link's mix
+//     changes its signature changes, so every entry computed against the
+//     old mix becomes unreachable. A cached decision can never be served
+//     against state it was not computed for.
+//   - Effectiveness under churn: session arrivals and departures walk the
+//     counts lattice around an equilibrium, revisiting the same (mix,
+//     class, count, QoS) points constantly; each revisit is an O(1) map
+//     lookup instead of a fresh large-deviations scan.
+//
+// Growth is bounded by generational rotation (the flip-flop scheme LRU
+// caches approximate cheaply): inserts go to the current generation; when
+// it fills, it becomes the previous generation and the oldest entries are
+// dropped wholesale. Lookups that hit the previous generation promote the
+// entry, so the working set survives rotation.
+//
+// The cache is deliberately not synchronised: every method is called with
+// the owning link's mutex held, on the same critical path that reads and
+// mutates the mix the keys are derived from.
+type decisionCache struct {
+	max       int
+	cur, prev map[string]bool
+}
+
+func newDecisionCache(max int) *decisionCache {
+	if max <= 0 {
+		max = DefaultCacheSize
+	}
+	return &decisionCache{max: max, cur: make(map[string]bool)}
+}
+
+// get looks a key up, promoting previous-generation hits.
+func (c *decisionCache) get(key string) (feasible, ok bool) {
+	if v, ok := c.cur[key]; ok {
+		return v, true
+	}
+	if v, ok := c.prev[key]; ok {
+		c.put(key, v)
+		return v, true
+	}
+	return false, false
+}
+
+// put inserts, rotating generations when the current one is full.
+func (c *decisionCache) put(key string, feasible bool) {
+	if len(c.cur) >= c.max {
+		c.prev = c.cur
+		c.cur = make(map[string]bool, c.max/4)
+	}
+	c.cur[key] = feasible
+}
+
+// flush drops every entry.
+func (c *decisionCache) flush() {
+	c.cur = make(map[string]bool)
+	c.prev = nil
+}
+
+// len reports the number of live entries across both generations (previous
+// entries also present in current are counted once by construction: put
+// never inserts a key already in cur).
+func (c *decisionCache) size() int {
+	n := len(c.cur)
+	for k := range c.prev {
+		if _, dup := c.cur[k]; !dup {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,319 @@
+package admitd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/cac"
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// Handler returns the service API plus the telemetry exposition surface:
+//
+//	POST /v1/admit     admission decision (AdmitRequest → AdmitResponse)
+//	POST /v1/release   tear-down (ReleaseRequest → ReleaseResponse)
+//	GET  /v1/links     per-link status (mix, utilization, signature)
+//	POST /v1/quote     effective-bandwidth quote (QuoteRequest → QuoteResponse)
+//	GET  /v1/quote     same, via query parameters (link, class, n, delay_ms, clr)
+//	GET  /metrics      Prometheus text exposition of the server registry
+//	GET  /vars         JSON metric snapshots + runtime stats
+//	GET  /debug/pprof/ live profiles
+//
+// Every /v1 endpoint is wrapped with a latency timer and a request counter
+// labeled by endpoint and status code, so the registry carries p50/p95/p99
+// per endpoint next to the per-link decision histograms.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/admit", s.wrap("admit", s.handleAdmit))
+	mux.HandleFunc("POST /v1/release", s.wrap("release", s.handleRelease))
+	mux.HandleFunc("GET /v1/links", s.wrap("links", s.handleLinks))
+	mux.HandleFunc("POST /v1/quote", s.wrap("quote", s.handleQuote))
+	mux.HandleFunc("GET /v1/quote", s.wrap("quote", s.handleQuoteGet))
+	tele := telemetry.Handler(s.reg)
+	mux.Handle("/metrics", tele)
+	mux.Handle("/vars", tele)
+	mux.Handle("/debug/pprof/", tele)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			jsonError(w, http.StatusNotFound, fmt.Errorf("no such endpoint %q", r.URL.Path))
+			return
+		}
+		fmt.Fprint(w, "admitd endpoints:\n  POST /v1/admit\n  POST /v1/release\n  GET /v1/links\n  GET|POST /v1/quote\n  /metrics /vars /debug/pprof/\n")
+	})
+	return mux
+}
+
+// statusWriter captures the response code for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// wrap times the handler and counts (endpoint, code).
+func (s *Server) wrap(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		stop := s.reqTimer(endpoint).Start()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		stop()
+		s.reqCount(endpoint, strconv.Itoa(sw.code)).Inc()
+	}
+}
+
+// jsonError writes {"error": ...} with the given status.
+func jsonError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// errStatus maps service errors onto HTTP statuses: unknown names are 404,
+// everything else from the request side is a 400.
+func errStatus(err error) int {
+	if strings.Contains(err.Error(), "unknown link") {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("admitd: bad request body: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
+	var req AdmitRequest
+	if err := decodeJSON(r, &req); err != nil {
+		jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.Admit(req)
+	if err != nil {
+		jsonError(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	var req ReleaseRequest
+	if err := decodeJSON(r, &req); err != nil {
+		jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.Release(req)
+	if err != nil {
+		jsonError(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleLinks(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{"links": s.Links()})
+}
+
+// QuoteRequest asks for an effective-bandwidth quote: the per-source
+// bandwidth N sources of Class would need on Link to meet the QoS, plus
+// how many more sources of the class fit right now.
+type QuoteRequest struct {
+	Link  string `json:"link"`
+	Class string `json:"class"`
+	// N is the homogeneous population to quote for; 0 means "the current
+	// total plus one", the marginal-call question.
+	N int `json:"n,omitempty"`
+	// DelayMs / CLR override the link QoS for the quote only.
+	DelayMs float64 `json:"delay_ms,omitempty"`
+	CLR     float64 `json:"clr,omitempty"`
+}
+
+// QuoteResponse is the quote. EffBandwidth* are the paper's operational
+// effective bandwidth (§5.4) for N homogeneous sources of the class
+// sharing the link's buffer; MaxAdditional answers the online question
+// against the mix admitted at quote time.
+type QuoteResponse struct {
+	Link                      string  `json:"link"`
+	Class                     string  `json:"class"`
+	N                         int     `json:"n"`
+	EffBandwidthCellsPerFrame float64 `json:"eff_bw_cells_per_frame,omitempty"`
+	EffBandwidthCellsPerSec   float64 `json:"eff_bw_cells_per_sec,omitempty"`
+	EffBandwidthError         string  `json:"eff_bw_error,omitempty"`
+	MeanCellsPerFrame         float64 `json:"mean_cells_per_frame"`
+	HeadroomPct               float64 `json:"headroom_pct,omitempty"`
+	MaxAdditional             int     `json:"max_additional"`
+	Active                    int     `json:"active_sources"`
+}
+
+// Quote computes a QuoteResponse. The MaxAdditional search runs on a
+// snapshot of the admitted mix outside the link lock: quotes are advisory
+// and must not serialize against the decision path.
+func (s *Server) Quote(req QuoteRequest) (QuoteResponse, error) {
+	st, err := s.linkByName(req.Link)
+	if err != nil {
+		return QuoteResponse{}, err
+	}
+	cls, err := s.resolveClass(req.Class)
+	if err != nil {
+		return QuoteResponse{}, err
+	}
+	delay := req.DelayMs
+	if delay <= 0 {
+		delay = st.cfg.DelayMs
+	}
+	clr := req.CLR
+	if clr <= 0 {
+		clr = st.cfg.CLR
+	}
+	if clr >= 1 {
+		return QuoteResponse{}, fmt.Errorf("admitd: quote CLR %v outside (0, 1)", clr)
+	}
+	link := cac.LinkMs(st.cfg.CellsPerSec, st.link.Ts, delay)
+
+	st.mu.Lock()
+	existing := make(core.Mix, 0, len(st.counts))
+	for _, cc := range st.counts {
+		existing = append(existing, core.Component{Model: cc.cls.mo, Count: cc.n})
+	}
+	active := st.total
+	st.mu.Unlock()
+
+	n := req.N
+	if n <= 0 {
+		n = active + 1
+	}
+	resp := QuoteResponse{
+		Link:              req.Link,
+		Class:             cls.spec,
+		N:                 n,
+		MeanCellsPerFrame: cls.mo.Mean(),
+		Active:            active,
+	}
+	ebw, err := cac.EffectiveBandwidth(cls.mo, n, link.BufferCells()/float64(n), clr)
+	if err != nil {
+		resp.EffBandwidthError = err.Error()
+	} else {
+		resp.EffBandwidthCellsPerFrame = ebw
+		resp.EffBandwidthCellsPerSec = ebw / link.Ts
+		resp.HeadroomPct = (ebw/cls.mo.Mean() - 1) * 100
+	}
+	extra, err := cac.MaxAdditional(existing, cls.mo, link, clr)
+	if err != nil {
+		return resp, err
+	}
+	resp.MaxAdditional = extra
+	return resp, nil
+}
+
+func (s *Server) handleQuote(w http.ResponseWriter, r *http.Request) {
+	var req QuoteRequest
+	if err := decodeJSON(r, &req); err != nil {
+		jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.serveQuote(w, req)
+}
+
+func (s *Server) handleQuoteGet(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	req := QuoteRequest{Link: q.Get("link"), Class: q.Get("class")}
+	for _, f := range []struct {
+		key string
+		dst *float64
+	}{{"delay_ms", &req.DelayMs}, {"clr", &req.CLR}} {
+		if v := q.Get(f.key); v != "" {
+			x, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				jsonError(w, http.StatusBadRequest, fmt.Errorf("admitd: bad %s %q", f.key, v))
+				return
+			}
+			*f.dst = x
+		}
+	}
+	if v := q.Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			jsonError(w, http.StatusBadRequest, fmt.Errorf("admitd: bad n %q", v))
+			return
+		}
+		req.N = n
+	}
+	s.serveQuote(w, req)
+}
+
+func (s *Server) serveQuote(w http.ResponseWriter, req QuoteRequest) {
+	resp, err := s.Quote(req)
+	if err != nil {
+		jsonError(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// Start binds addr (e.g. ":8080" or "127.0.0.1:0" for an ephemeral port)
+// and serves the Handler in a background goroutine, returning the bound
+// address. Stop with Shutdown.
+func (s *Server) Start(addr string) (string, error) {
+	s.httpMu.Lock()
+	defer s.httpMu.Unlock()
+	if s.httpSrv != nil {
+		return "", fmt.Errorf("admitd: server already started")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("admitd: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	done := make(chan struct{})
+	s.httpSrv, s.httpDone = srv, done
+	go func() {
+		defer close(done)
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			telemetry.Log.Errorf("admitd: serve: %v", err)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Shutdown gracefully drains the HTTP server: the listener closes
+// immediately, in-flight requests run to completion (bounded by ctx), and
+// the serve goroutine is reaped before Shutdown returns — so a caller
+// that runs a leak check after Shutdown sees no straggler.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.httpMu.Lock()
+	srv, done := s.httpSrv, s.httpDone
+	s.httpSrv, s.httpDone = nil, nil
+	s.httpMu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	err := srv.Shutdown(ctx)
+	select {
+	case <-done:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	return err
+}

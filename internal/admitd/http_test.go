@@ -1,0 +1,229 @@
+package admitd_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/admitd"
+)
+
+// startHTTP boots the server on an ephemeral port and tears it down (with
+// drain) when the test finishes.
+func startHTTP(t *testing.T, srv *admitd.Server) string {
+	t.Helper()
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	})
+	return "http://" + addr
+}
+
+// postJSON posts v and decodes the response into out, returning the status.
+func postJSON(t *testing.T, url string, v, out any) int {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestHTTPAdmitReleaseFlow(t *testing.T) {
+	srv := newTestServer(t, false, bigLink, smallLink)
+	base := startHTTP(t, srv)
+
+	var admit admitd.AdmitResponse
+	if code := postJSON(t, base+"/v1/admit", admitd.AdmitRequest{Link: "big", Class: zClass}, &admit); code != http.StatusOK {
+		t.Fatalf("admit status %d", code)
+	}
+	if !admit.Admitted || admit.Active != 1 {
+		t.Errorf("admit = %+v", admit)
+	}
+
+	code, body := getBody(t, base+"/v1/links")
+	if code != http.StatusOK || !strings.Contains(body, `"big"`) || !strings.Contains(body, `"small"`) {
+		t.Errorf("links: %d %q", code, body)
+	}
+	if !strings.Contains(body, `"signature":"z:0.975*1"`) {
+		t.Errorf("links body missing mix signature: %q", body)
+	}
+
+	var rel admitd.ReleaseResponse
+	if code := postJSON(t, base+"/v1/release", admitd.ReleaseRequest{Link: "big", Class: zClass}, &rel); code != http.StatusOK {
+		t.Fatalf("release status %d", code)
+	}
+	if rel.Active != 0 {
+		t.Errorf("release = %+v", rel)
+	}
+}
+
+func TestHTTPQuote(t *testing.T) {
+	srv := newTestServer(t, false, smallLink)
+	base := startHTTP(t, srv)
+
+	var q admitd.QuoteResponse
+	if code := postJSON(t, base+"/v1/quote", admitd.QuoteRequest{Link: "small", Class: zClass, N: 10}, &q); code != http.StatusOK {
+		t.Fatalf("quote status %d", code)
+	}
+	if q.N != 10 || q.MaxAdditional <= 0 || q.EffBandwidthCellsPerFrame <= q.MeanCellsPerFrame {
+		t.Errorf("quote = %+v (effective bandwidth must exceed the mean)", q)
+	}
+
+	// GET form with query parameters agrees with the POST form.
+	code, body := getBody(t, fmt.Sprintf("%s/v1/quote?link=small&class=%s&n=10", base, zClass))
+	if code != http.StatusOK {
+		t.Fatalf("quote GET status %d: %s", code, body)
+	}
+	var q2 admitd.QuoteResponse
+	if err := json.Unmarshal([]byte(body), &q2); err != nil {
+		t.Fatal(err)
+	}
+	if q2 != q {
+		t.Errorf("GET quote %+v != POST quote %+v", q2, q)
+	}
+
+	for _, bad := range []string{
+		"/v1/quote?link=small&class=" + zClass + "&n=x",
+		"/v1/quote?link=small&class=" + zClass + "&clr=x",
+	} {
+		if code, _ := getBody(t, base+bad); code != http.StatusBadRequest {
+			t.Errorf("GET %s status %d, want 400", bad, code)
+		}
+	}
+}
+
+func TestHTTPErrorStatuses(t *testing.T) {
+	srv := newTestServer(t, false, bigLink)
+	base := startHTTP(t, srv)
+
+	// Unknown link → 404 with a JSON error.
+	var errResp map[string]string
+	if code := postJSON(t, base+"/v1/admit", admitd.AdmitRequest{Link: "nope", Class: zClass}, &errResp); code != http.StatusNotFound {
+		t.Errorf("unknown link status %d, want 404", code)
+	}
+	if !strings.Contains(errResp["error"], "unknown link") {
+		t.Errorf("error body = %v", errResp)
+	}
+	// Bad class → 400.
+	if code := postJSON(t, base+"/v1/admit", admitd.AdmitRequest{Link: "big", Class: "quux:1"}, nil); code != http.StatusBadRequest {
+		t.Errorf("bad class status %d, want 400", code)
+	}
+	// Malformed JSON and unknown fields → 400.
+	resp, err := http.Post(base+"/v1/admit", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON status %d, want 400", resp.StatusCode)
+	}
+	if code := postJSON(t, base+"/v1/admit", map[string]any{"link": "big", "class": zClass, "bogus": 1}, nil); code != http.StatusBadRequest {
+		t.Errorf("unknown field status %d, want 400", code)
+	}
+	// Wrong method falls through to the catch-all index handler, which
+	// rejects non-root paths: a GET of a POST endpoint is a 404, not a 200.
+	if code, _ := getBody(t, base+"/v1/admit"); code != http.StatusNotFound {
+		t.Errorf("GET /v1/admit status %d, want 404", code)
+	}
+	// Unknown path → 404.
+	if code, _ := getBody(t, base+"/v1/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path status %d, want 404", code)
+	}
+}
+
+func TestHTTPMetricsExposition(t *testing.T) {
+	srv := newTestServer(t, false, bigLink)
+	base := startHTTP(t, srv)
+	postJSON(t, base+"/v1/admit", admitd.AdmitRequest{Link: "big", Class: zClass}, nil)
+
+	code, body := getBody(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics status %d", code)
+	}
+	for _, want := range []string{
+		`admitd_decisions_total{link="big",outcome="admitted"} 1`,
+		`admitd_cache_total{link="big",result="miss"} 1`,
+		`admitd_decision_seconds_count{link="big"} 1`,
+		`admitd_http_requests_total{code="200",endpoint="admit"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if code, body := getBody(t, base+"/vars"); code != http.StatusOK || !strings.Contains(body, "admitd_decision_seconds") {
+		t.Errorf("/vars: %d", code)
+	}
+}
+
+func TestHTTPStartShutdownLifecycle(t *testing.T) {
+	srv := newTestServer(t, false, bigLink)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if _, err := srv.Start("127.0.0.1:0"); err == nil {
+		t.Error("second Start accepted while serving")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// Idempotent: a second Shutdown is a no-op.
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Errorf("repeat Shutdown: %v", err)
+	}
+	// The listener is gone.
+	if _, err := http.Get("http://" + addr + "/v1/links"); err == nil {
+		t.Error("GET succeeded after Shutdown")
+	}
+	// And the server can be started again (fresh port).
+	addr2, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	if code, _ := getBody(t, "http://"+addr2+"/v1/links"); code != http.StatusOK {
+		t.Errorf("links after restart: %d", code)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("final Shutdown: %v", err)
+	}
+}

@@ -1,0 +1,486 @@
+package admitd
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/cac"
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// classCount is one class's admitted population on a link. The counts
+// slice is kept sorted by class spec, so the mix, its signature and the
+// journal replay are all deterministic — no map iteration anywhere on the
+// decision path.
+type classCount struct {
+	cls *class
+	n   int
+}
+
+// linkState is the per-link admission state. Every decision — feasibility
+// evaluation plus the mutation it authorises — runs under mu, which is
+// what makes two racing admits unable to both land past capacity: the
+// second one re-evaluates against the state the first one left behind.
+type linkState struct {
+	cfg  LinkConfig
+	link cac.Link
+	est  cac.Estimator
+
+	mu        sync.Mutex
+	counts    []classCount
+	sig       string // canonical signature of counts (maintained on change)
+	total     int    // Σ counts
+	mean      float64
+	cache     *decisionCache
+	journal   []Event
+	journalOn bool
+	seq       uint64
+
+	decAdmitted, decRejected, decErrors *telemetry.Counter
+	relOK, relErrors                    *telemetry.Counter
+	cacheHit, cacheMiss                 *telemetry.Counter
+	decTimer                            *telemetry.Timer
+	activeGauge, meanGauge              *telemetry.Gauge
+}
+
+// Event is one journal entry: an admit or release attempt and whether it
+// was granted. Replaying the granted events reconstructs every state the
+// link ever occupied.
+type Event struct {
+	Seq     uint64 `json:"seq"`
+	Op      string `json:"op"` // "admit" or "release"
+	Class   string `json:"class"`
+	Count   int    `json:"count"`
+	Granted bool   `json:"granted"`
+}
+
+func newLinkState(lc LinkConfig, link cac.Link, cfg Config, reg *telemetry.Registry) *linkState {
+	l := telemetry.L("link", lc.Name)
+	outcome := func(name, o string) *telemetry.Counter {
+		return reg.Counter(name, l, telemetry.L("outcome", o))
+	}
+	return &linkState{
+		cfg:         lc,
+		link:        link,
+		est:         cfg.Estimator,
+		cache:       newDecisionCache(cfg.CacheSize),
+		journalOn:   cfg.Journal,
+		decAdmitted: outcome("admitd_decisions_total", "admitted"),
+		decRejected: outcome("admitd_decisions_total", "rejected"),
+		decErrors:   outcome("admitd_decisions_total", "error"),
+		relOK:       outcome("admitd_releases_total", "released"),
+		relErrors:   outcome("admitd_releases_total", "error"),
+		cacheHit:    reg.Counter("admitd_cache_total", l, telemetry.L("result", "hit")),
+		cacheMiss:   reg.Counter("admitd_cache_total", l, telemetry.L("result", "miss")),
+		decTimer:    reg.Timer("admitd_decision_seconds", l),
+		activeGauge: reg.Gauge("admitd_active_sources", l),
+		meanGauge:   reg.Gauge("admitd_mean_load_cells", l),
+	}
+}
+
+// AdmitRequest asks to admit Count more sources of Class onto Link. The
+// link's configured QoS is always enforced; DelayMs/CLR, when set, add a
+// second (typically tighter) per-request QoS that must also hold.
+type AdmitRequest struct {
+	Link  string `json:"link"`
+	Class string `json:"class"`
+	// Count defaults to 1.
+	Count int `json:"count,omitempty"`
+	// DelayMs optionally overrides the queueing-delay bound for this
+	// request's feasibility check (the link contract is still enforced).
+	DelayMs float64 `json:"delay_ms,omitempty"`
+	// CLR optionally adds a per-request loss target.
+	CLR float64 `json:"clr,omitempty"`
+	// DryRun evaluates the decision without mutating link state.
+	DryRun bool `json:"dry_run,omitempty"`
+}
+
+// AdmitResponse reports the decision and the resulting link state.
+type AdmitResponse struct {
+	Admitted    bool    `json:"admitted"`
+	Reason      string  `json:"reason,omitempty"`
+	Link        string  `json:"link"`
+	Class       string  `json:"class"`
+	Count       int     `json:"count"`
+	Active      int     `json:"active_sources"`
+	MeanLoad    float64 `json:"mean_load_cells_per_frame"`
+	Utilization float64 `json:"utilization"`
+	CacheHit    bool    `json:"cache_hit"`
+	Seq         uint64  `json:"seq,omitempty"`
+}
+
+// ReleaseRequest tears down Count sources of Class on Link.
+type ReleaseRequest struct {
+	Link  string `json:"link"`
+	Class string `json:"class"`
+	Count int    `json:"count,omitempty"` // defaults to 1
+}
+
+// ReleaseResponse reports the resulting link state.
+type ReleaseResponse struct {
+	Link     string  `json:"link"`
+	Class    string  `json:"class"`
+	Count    int     `json:"count"`
+	Active   int     `json:"active_sources"`
+	MeanLoad float64 `json:"mean_load_cells_per_frame"`
+	Seq      uint64  `json:"seq,omitempty"`
+}
+
+// LinkStatus is the query view of one link.
+type LinkStatus struct {
+	Name        string       `json:"name"`
+	CellsPerSec float64      `json:"cells_per_sec"`
+	DelayMs     float64      `json:"delay_ms"`
+	CLR         float64      `json:"clr"`
+	Active      int          `json:"active_sources"`
+	MeanLoad    float64      `json:"mean_load_cells_per_frame"`
+	Utilization float64      `json:"utilization"`
+	Signature   string       `json:"signature,omitempty"`
+	Classes     []ClassCount `json:"classes,omitempty"`
+}
+
+// ClassCount is one class's population in a LinkStatus.
+type ClassCount struct {
+	Class string `json:"class"`
+	Count int    `json:"count"`
+}
+
+// Admit runs one admission decision. The feasibility evaluation and the
+// state mutation are atomic under the link lock.
+func (s *Server) Admit(req AdmitRequest) (AdmitResponse, error) {
+	st, err := s.linkByName(req.Link)
+	if err != nil {
+		return AdmitResponse{}, err
+	}
+	count := req.Count
+	if count == 0 {
+		count = 1
+	}
+	if count < 0 {
+		return AdmitResponse{}, fmt.Errorf("admitd: admit count %d must be positive", count)
+	}
+	cls, err := s.resolveClass(req.Class)
+	if err != nil {
+		st.decErrors.Inc()
+		return AdmitResponse{}, err
+	}
+	var reqLink cac.Link
+	reqCLR := req.CLR
+	hasQoS := req.DelayMs > 0 || reqCLR > 0
+	if hasQoS {
+		delay := req.DelayMs
+		if delay <= 0 {
+			delay = st.cfg.DelayMs
+		}
+		if reqCLR <= 0 {
+			reqCLR = st.cfg.CLR
+		}
+		if reqCLR >= 1 {
+			st.decErrors.Inc()
+			return AdmitResponse{}, fmt.Errorf("admitd: request CLR %v outside (0, 1)", reqCLR)
+		}
+		reqLink = cac.LinkMs(st.cfg.CellsPerSec, st.link.Ts, delay)
+	}
+
+	stop := st.decTimer.Start()
+	st.mu.Lock()
+	feasible, hit, err := st.decide(cls, count, hasQoS, reqLink, reqCLR)
+	if err != nil {
+		st.mu.Unlock()
+		stop()
+		st.decErrors.Inc()
+		return AdmitResponse{}, err
+	}
+	var seq uint64
+	if feasible && !req.DryRun {
+		st.apply(cls, count)
+	}
+	if !req.DryRun {
+		st.seq++
+		seq = st.seq
+		if st.journalOn {
+			st.journal = append(st.journal, Event{
+				Seq: seq, Op: "admit", Class: cls.spec, Count: count, Granted: feasible,
+			})
+		}
+	}
+	resp := AdmitResponse{
+		Admitted:    feasible,
+		Link:        req.Link,
+		Class:       cls.spec,
+		Count:       count,
+		Active:      st.total,
+		MeanLoad:    st.mean,
+		Utilization: st.mean / st.link.CellsPerFrame(),
+		CacheHit:    hit,
+		Seq:         seq,
+	}
+	st.mu.Unlock()
+	stop()
+	if feasible {
+		if !req.DryRun {
+			st.decAdmitted.Inc()
+		}
+	} else {
+		resp.Reason = "infeasible: admitting would violate the QoS target"
+		if !req.DryRun {
+			st.decRejected.Inc()
+		}
+	}
+	return resp, nil
+}
+
+// decide evaluates feasibility of adding count sources of cls, consulting
+// the decision cache first. Caller holds st.mu.
+func (st *linkState) decide(cls *class, count int, hasQoS bool, reqLink cac.Link, reqCLR float64) (feasible, cacheHit bool, err error) {
+	key := st.cacheKey(cls, count, hasQoS, reqLink, reqCLR)
+	if v, ok := st.cache.get(key); ok {
+		st.cacheHit.Inc()
+		return v, true, nil
+	}
+	st.cacheMiss.Inc()
+	mix := st.candidateMix(cls, count)
+	feasible, err = cac.MixMeetsTargetEst(mix, st.link, st.cfg.CLR, st.est)
+	if err != nil {
+		return false, false, err
+	}
+	if feasible && hasQoS {
+		feasible, err = cac.MixMeetsTargetEst(mix, reqLink, reqCLR, st.est)
+		if err != nil {
+			return false, false, err
+		}
+	}
+	st.cache.put(key, feasible)
+	return feasible, false, nil
+}
+
+// cacheKey builds the decision-cache key. The mix signature is the first
+// component, so entries for superseded mixes become unreachable the moment
+// the mix changes — the cache can never serve a decision computed against
+// stale state.
+func (st *linkState) cacheKey(cls *class, count int, hasQoS bool, reqLink cac.Link, reqCLR float64) string {
+	var b strings.Builder
+	b.Grow(len(st.sig) + len(cls.spec) + 32)
+	b.WriteString(st.sig)
+	b.WriteByte(0xff)
+	b.WriteString(cls.spec)
+	b.WriteByte(0xff)
+	b.WriteString(strconv.Itoa(count))
+	if hasQoS {
+		b.WriteByte(0xff)
+		b.WriteString(strconv.FormatFloat(reqLink.Delay, 'g', -1, 64))
+		b.WriteByte(0xff)
+		b.WriteString(strconv.FormatFloat(reqCLR, 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// candidateMix builds existing + count×cls as a core.Mix. Caller holds
+// st.mu. The slice is freshly allocated: it escapes into the cac call
+// tree, and decisions are rare enough (µs-scale each) that pooling would
+// buy nothing measurable.
+func (st *linkState) candidateMix(cls *class, count int) core.Mix {
+	mix := make(core.Mix, 0, len(st.counts)+1)
+	merged := false
+	for _, cc := range st.counts {
+		n := cc.n
+		if cc.cls == cls {
+			n += count
+			merged = true
+		}
+		mix = append(mix, core.Component{Model: cc.cls.mo, Count: n})
+	}
+	if !merged {
+		mix = append(mix, core.Component{Model: cls.mo, Count: count})
+	}
+	return mix
+}
+
+// apply commits an admission. Caller holds st.mu.
+func (st *linkState) apply(cls *class, count int) {
+	idx := -1
+	for i, cc := range st.counts {
+		if cc.cls == cls {
+			idx = i
+			break
+		}
+	}
+	if idx >= 0 {
+		st.counts[idx].n += count
+	} else {
+		st.counts = append(st.counts, classCount{cls: cls, n: count})
+		sortCounts(st.counts)
+	}
+	st.total += count
+	st.mean += float64(count) * cls.mo.Mean()
+	st.refreshDerived()
+}
+
+// Release tears down sources. It fails (without mutating) when the class
+// has fewer admitted sources than requested.
+func (s *Server) Release(req ReleaseRequest) (ReleaseResponse, error) {
+	st, err := s.linkByName(req.Link)
+	if err != nil {
+		return ReleaseResponse{}, err
+	}
+	count := req.Count
+	if count == 0 {
+		count = 1
+	}
+	if count < 0 {
+		return ReleaseResponse{}, fmt.Errorf("admitd: release count %d must be positive", count)
+	}
+	spec := CanonicalSpec(req.Class)
+	st.mu.Lock()
+	idx := -1
+	for i, cc := range st.counts {
+		if cc.cls.spec == spec {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 || st.counts[idx].n < count {
+		have := 0
+		if idx >= 0 {
+			have = st.counts[idx].n
+		}
+		st.mu.Unlock()
+		st.relErrors.Inc()
+		return ReleaseResponse{}, fmt.Errorf("admitd: link %q has %d sources of class %q, cannot release %d",
+			req.Link, have, spec, count)
+	}
+	cls := st.counts[idx].cls
+	st.counts[idx].n -= count
+	if st.counts[idx].n == 0 {
+		st.counts = append(st.counts[:idx], st.counts[idx+1:]...)
+	}
+	st.total -= count
+	st.mean -= float64(count) * cls.mo.Mean()
+	st.refreshDerived()
+	st.seq++
+	seq := st.seq
+	if st.journalOn {
+		st.journal = append(st.journal, Event{
+			Seq: seq, Op: "release", Class: spec, Count: count, Granted: true,
+		})
+	}
+	resp := ReleaseResponse{
+		Link:     req.Link,
+		Class:    spec,
+		Count:    count,
+		Active:   st.total,
+		MeanLoad: st.mean,
+		Seq:      seq,
+	}
+	st.mu.Unlock()
+	st.relOK.Inc()
+	return resp, nil
+}
+
+// refreshDerived recomputes the signature and gauges after a counts
+// change. Caller holds st.mu.
+func (st *linkState) refreshDerived() {
+	st.sig = signature(st.counts)
+	st.activeGauge.Set(float64(st.total))
+	st.meanGauge.Set(st.mean)
+}
+
+func sortCounts(counts []classCount) {
+	for i := 1; i < len(counts); i++ { // insertion sort: counts stay tiny and nearly sorted
+		for j := i; j > 0 && counts[j].cls.spec < counts[j-1].cls.spec; j-- {
+			counts[j], counts[j-1] = counts[j-1], counts[j]
+		}
+	}
+}
+
+// signature renders a counts slice as the canonical mix signature, e.g.
+// "dar:0.975:1*3,z:0.975*12". Counts are sorted by spec, so equal mixes
+// always produce equal signatures.
+func signature(counts []classCount) string {
+	var b strings.Builder
+	for i, cc := range counts {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(cc.cls.spec)
+		b.WriteByte('*')
+		b.WriteString(strconv.Itoa(cc.n))
+	}
+	return b.String()
+}
+
+// MixSignature renders (class spec, count) pairs as the canonical mix
+// signature used by the decision cache, normalising specs and sorting.
+// Exported for the benchmark suite and for external cache-key debugging.
+func MixSignature(classes []ClassCount) string {
+	cs := make([]ClassCount, len(classes))
+	for i, c := range classes {
+		cs[i] = ClassCount{Class: CanonicalSpec(c.Class), Count: c.Count}
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Class < cs[j].Class })
+	var b strings.Builder
+	for i, c := range cs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(c.Class)
+		b.WriteByte('*')
+		b.WriteString(strconv.Itoa(c.Count))
+	}
+	return b.String()
+}
+
+// status snapshots the link under its lock.
+func (st *linkState) status() LinkStatus {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	classes := make([]ClassCount, 0, len(st.counts))
+	for _, cc := range st.counts {
+		classes = append(classes, ClassCount{Class: cc.cls.spec, Count: cc.n})
+	}
+	return LinkStatus{
+		Name:        st.cfg.Name,
+		CellsPerSec: st.cfg.CellsPerSec,
+		DelayMs:     st.cfg.DelayMs,
+		CLR:         st.cfg.CLR,
+		Active:      st.total,
+		MeanLoad:    st.mean,
+		Utilization: st.mean / st.link.CellsPerFrame(),
+		Signature:   st.sig,
+		Classes:     classes,
+	}
+}
+
+// Journal returns a copy of the link's journal (empty unless the server
+// was configured with Journal: true).
+func (s *Server) Journal(link string) ([]Event, error) {
+	st, err := s.linkByName(link)
+	if err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return append([]Event(nil), st.journal...), nil
+}
+
+// DecisionStats reads the decision-latency quantiles for a link from the
+// registry. Used by tests and the soak harness; snapshot-rate only.
+func (s *Server) DecisionStats(link string) (telemetry.HistStats, error) {
+	if _, err := s.linkByName(link); err != nil {
+		return telemetry.HistStats{}, err
+	}
+	// The timer handle is private to telemetry; go through a snapshot.
+	for _, snap := range s.reg.Snapshot() {
+		if snap.Name == "admitd_decision_seconds" && snap.Labels["link"] == link {
+			return telemetry.HistStats{
+				Count: snap.Count, Sum: snap.Sum, Min: snap.Min, Max: snap.Max,
+				P50: snap.P50, P95: snap.P95, P99: snap.P99, NonFinite: snap.NonFinite,
+			}, nil
+		}
+	}
+	return telemetry.HistStats{}, nil
+}

@@ -1,0 +1,89 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/admitd"
+)
+
+// Direct drives an in-process server with plain method calls — the soak
+// harness's transport, measuring the decision path with zero network in
+// the way.
+type Direct struct {
+	Srv *admitd.Server
+}
+
+// Admit implements Client.
+func (d Direct) Admit(_ context.Context, req admitd.AdmitRequest) (admitd.AdmitResponse, error) {
+	return d.Srv.Admit(req)
+}
+
+// Release implements Client.
+func (d Direct) Release(_ context.Context, req admitd.ReleaseRequest) (admitd.ReleaseResponse, error) {
+	return d.Srv.Release(req)
+}
+
+// HTTP drives a remote admitd over its JSON API.
+type HTTP struct {
+	// Base is the server base URL, e.g. "http://127.0.0.1:8080".
+	Base string
+	// Client defaults to http.DefaultClient.
+	Client *http.Client
+}
+
+// Admit implements Client.
+func (h HTTP) Admit(ctx context.Context, req admitd.AdmitRequest) (admitd.AdmitResponse, error) {
+	var resp admitd.AdmitResponse
+	err := h.post(ctx, "/v1/admit", req, &resp)
+	return resp, err
+}
+
+// Release implements Client.
+func (h HTTP) Release(ctx context.Context, req admitd.ReleaseRequest) (admitd.ReleaseResponse, error) {
+	var resp admitd.ReleaseResponse
+	err := h.post(ctx, "/v1/release", req, &resp)
+	return resp, err
+}
+
+func (h HTTP) post(ctx context.Context, path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("loadgen: encode %s: %w", path, err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, h.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("loadgen: build %s: %w", path, err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hc := h.Client
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	hresp, err := hc.Do(hreq)
+	if err != nil {
+		return fmt.Errorf("loadgen: %s: %w", path, err)
+	}
+	defer hresp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(hresp.Body, 1<<20))
+	if err != nil {
+		return fmt.Errorf("loadgen: read %s: %w", path, err)
+	}
+	if hresp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("loadgen: %s: %s (HTTP %d)", path, e.Error, hresp.StatusCode)
+		}
+		return fmt.Errorf("loadgen: %s: HTTP %d", path, hresp.StatusCode)
+	}
+	if err := json.Unmarshal(data, resp); err != nil {
+		return fmt.Errorf("loadgen: decode %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,247 @@
+// Package loadgen is the closed-loop load generator for the admission
+// service: configurable worker pools drive admit/hold/release session
+// churn across weighted source classes and links, against either an
+// in-process *admitd.Server (the soak harness and -inproc benchmarking
+// path) or a remote daemon over HTTP/JSON.
+//
+// The traffic shape follows the telephony view of the paper's CAC
+// question: each worker maintains a set of active subscriber sessions,
+// admitting new ones and tearing down old ones so the admitted mix walks
+// around the link's admission boundary — the regime where decisions are
+// actually interesting (a steady stream of both admits and rejections).
+// All randomness (class choice, link choice, admit-vs-release) flows from
+// per-worker splitmix64-derived seeds, so a run's decision sequence per
+// worker is reproducible.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/admitd"
+	"repro/internal/randx"
+	"repro/internal/seed"
+	"repro/internal/telemetry"
+)
+
+// Client is the transport the generator drives. Implementations must be
+// safe for concurrent use.
+type Client interface {
+	Admit(ctx context.Context, req admitd.AdmitRequest) (admitd.AdmitResponse, error)
+	Release(ctx context.Context, req admitd.ReleaseRequest) (admitd.ReleaseResponse, error)
+}
+
+// Class is one weighted traffic class in the generated load.
+type Class struct {
+	// Spec is a modelspec string, e.g. "z:0.975" or "dar:0.975:1".
+	Spec string
+	// Weight is the relative arrival rate of the class (default 1).
+	Weight float64
+}
+
+// Config parameterises a load run.
+type Config struct {
+	// Links to spread sessions across (uniformly at random per session).
+	Links []string
+	// Classes and their arrival weights.
+	Classes []Class
+	// Workers is the number of concurrent closed-loop workers (default 4).
+	Workers int
+	// MaxActivePerWorker caps each worker's concurrently-held sessions
+	// (default 64). The cap bounds the drain work at the end of the run
+	// and keeps per-worker state small.
+	MaxActivePerWorker int
+	// Decisions budgets the run: total admit+release operations across
+	// all workers, excluding the final drain. 0 means run until ctx is
+	// done.
+	Decisions int64
+	// AdmitBias is the probability a worker with active sessions tries a
+	// new admit rather than a release (default 0.55; >0.5 pushes load
+	// toward the admission boundary).
+	AdmitBias float64
+	// Seed feeds the per-worker RNGs through splitmix64 derivation.
+	Seed int64
+	// Registry receives client-observed latency/outcome metrics; nil uses
+	// a private registry.
+	Registry *telemetry.Registry
+	// QoSDelayMs / QoSCLR are optional per-request QoS overrides passed
+	// through on every admit.
+	QoSDelayMs, QoSCLR float64
+}
+
+// Report is the outcome of a run. Latency quantiles are client-observed
+// (per operation, including transport), from the registry histogram.
+type Report struct {
+	Decisions int64 // admits + releases inside the budget window
+	Admits    int64 // admission attempts (sessions offered)
+	Admitted  int64 // sessions accepted
+	Rejected  int64 // sessions refused
+	Releases  int64 // tear-downs (including the final drain)
+	Errors    int64 // transport or protocol failures
+	Elapsed   time.Duration
+	QPS       float64 // decisions per wall-second over the budget window
+	P50       time.Duration
+	P95       time.Duration
+	P99       time.Duration
+}
+
+// session is one admitted subscriber a worker is holding.
+type session struct {
+	link  string
+	class string
+}
+
+// Run drives the configured load until the decision budget is spent or
+// ctx is cancelled, then drains every held session and reports.
+func Run(ctx context.Context, cfg Config, client Client) (Report, error) {
+	if client == nil {
+		return Report{}, fmt.Errorf("loadgen: nil client")
+	}
+	if len(cfg.Links) == 0 {
+		return Report{}, fmt.Errorf("loadgen: no links configured")
+	}
+	if len(cfg.Classes) == 0 {
+		return Report{}, fmt.Errorf("loadgen: no classes configured")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	maxActive := cfg.MaxActivePerWorker
+	if maxActive <= 0 {
+		maxActive = 64
+	}
+	bias := cfg.AdmitBias
+	if bias <= 0 || bias >= 1 {
+		bias = 0.55
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	weights, totalW := make([]float64, len(cfg.Classes)), 0.0
+	for i, c := range cfg.Classes {
+		w := c.Weight
+		if w <= 0 {
+			w = 1
+		}
+		weights[i] = w
+		totalW += w
+	}
+
+	opTimer := reg.Timer("loadgen_op_seconds")
+	admitTimer := reg.Timer("loadgen_admit_seconds")
+	releaseTimer := reg.Timer("loadgen_release_seconds")
+
+	var (
+		rep      Report
+		spent    atomic.Int64 // decisions consumed from the budget
+		admits   atomic.Int64
+		admitted atomic.Int64
+		rejected atomic.Int64
+		releases atomic.Int64
+		errs     atomic.Int64
+	)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := randx.NewRand(seed.Derive(cfg.Seed, uint64(w)))
+			var active []session
+
+			admitOne := func() {
+				cls := cfg.Classes[pickWeighted(r, weights, totalW)].Spec
+				link := cfg.Links[r.Intn(len(cfg.Links))]
+				t0 := time.Now()
+				resp, err := client.Admit(ctx, admitd.AdmitRequest{
+					Link: link, Class: cls,
+					DelayMs: cfg.QoSDelayMs, CLR: cfg.QoSCLR,
+				})
+				d := time.Since(t0)
+				opTimer.Observe(d)
+				admitTimer.Observe(d)
+				admits.Add(1)
+				switch {
+				case err != nil:
+					errs.Add(1)
+				case resp.Admitted:
+					admitted.Add(1)
+					active = append(active, session{link: link, class: resp.Class})
+				default:
+					rejected.Add(1)
+				}
+			}
+			releaseOne := func(i int) {
+				sess := active[i]
+				active[i] = active[len(active)-1]
+				active = active[:len(active)-1]
+				t0 := time.Now()
+				_, err := client.Release(ctx, admitd.ReleaseRequest{Link: sess.link, Class: sess.class})
+				d := time.Since(t0)
+				opTimer.Observe(d)
+				releaseTimer.Observe(d)
+				releases.Add(1)
+				if err != nil {
+					errs.Add(1)
+				}
+			}
+
+			for ctx.Err() == nil {
+				if cfg.Decisions > 0 && spent.Add(1) > cfg.Decisions {
+					break
+				}
+				if len(active) == 0 || (len(active) < maxActive && r.Float64() < bias) {
+					admitOne()
+				} else {
+					releaseOne(r.Intn(len(active)))
+				}
+			}
+			// Drain outside the budget window so every admitted session is
+			// paired with a release in the server journal.
+			for len(active) > 0 && ctx.Err() == nil {
+				releaseOne(len(active) - 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+
+	rep.Admits = admits.Load()
+	rep.Admitted = admitted.Load()
+	rep.Rejected = rejected.Load()
+	rep.Releases = releases.Load()
+	rep.Errors = errs.Load()
+	rep.Decisions = rep.Admits + rep.Releases
+	if rep.Elapsed > 0 {
+		rep.QPS = float64(rep.Decisions) / rep.Elapsed.Seconds()
+	}
+	for _, snap := range reg.Snapshot() {
+		if snap.Name == "loadgen_op_seconds" {
+			rep.P50 = time.Duration(snap.P50 * float64(time.Second))
+			rep.P95 = time.Duration(snap.P95 * float64(time.Second))
+			rep.P99 = time.Duration(snap.P99 * float64(time.Second))
+		}
+	}
+	// Cancellation is how duration-bounded runs stop, so ctx.Err() is not
+	// surfaced as a failure; the report carries the numbers either way.
+	return rep, nil
+}
+
+// pickWeighted draws a class index proportionally to weights.
+func pickWeighted(r *rand.Rand, weights []float64, total float64) int {
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

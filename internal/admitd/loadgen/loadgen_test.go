@@ -1,0 +1,187 @@
+package loadgen_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/admitd"
+	"repro/internal/admitd/loadgen"
+)
+
+func newServer(t *testing.T) *admitd.Server {
+	t.Helper()
+	srv := admitd.NewServer(admitd.Config{Journal: true})
+	for _, lc := range []admitd.LinkConfig{
+		{Name: "core", CellsPerSec: 365566, DelayMs: 20, CLR: 1e-6},
+		{Name: "edge", CellsPerSec: 96000, DelayMs: 10, CLR: 1e-5},
+	} {
+		if err := srv.AddLink(lc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return srv
+}
+
+var testClasses = []loadgen.Class{{Spec: "z:0.975", Weight: 3}, {Spec: "dar:0.975:1", Weight: 1}}
+
+func TestRunValidation(t *testing.T) {
+	ctx := context.Background()
+	ok := loadgen.Config{Links: []string{"core"}, Classes: testClasses}
+	if _, err := loadgen.Run(ctx, ok, nil); err == nil {
+		t.Error("nil client accepted")
+	}
+	bad := ok
+	bad.Links = nil
+	if _, err := loadgen.Run(ctx, bad, loadgen.Direct{Srv: newServer(t)}); err == nil {
+		t.Error("empty links accepted")
+	}
+	bad = ok
+	bad.Classes = nil
+	if _, err := loadgen.Run(ctx, bad, loadgen.Direct{Srv: newServer(t)}); err == nil {
+		t.Error("empty classes accepted")
+	}
+}
+
+func TestRunDirectDrainsAndBalances(t *testing.T) {
+	srv := newServer(t)
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		Links: []string{"core", "edge"}, Classes: testClasses,
+		Workers: 4, Decisions: 4000, Seed: 42,
+	}, loadgen.Direct{Srv: srv})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d errors", rep.Errors)
+	}
+	if rep.Decisions != rep.Admits+rep.Releases {
+		t.Errorf("decisions %d != admits %d + releases %d", rep.Decisions, rep.Admits, rep.Releases)
+	}
+	if rep.Admits != rep.Admitted+rep.Rejected {
+		t.Errorf("admits %d != admitted %d + rejected %d", rep.Admits, rep.Admitted, rep.Rejected)
+	}
+	// Every admitted session was released by the final drain...
+	if rep.Releases != rep.Admitted {
+		t.Errorf("releases %d != admitted %d after drain", rep.Releases, rep.Admitted)
+	}
+	for _, st := range srv.Links() {
+		if st.Active != 0 {
+			t.Errorf("link %s holds %d sessions after drain", st.Name, st.Active)
+		}
+	}
+	// ...and the server journals agree with the client-side tallies.
+	var admits, releases int64
+	for _, name := range srv.LinkNames() {
+		rr, err := srv.ReplayJournal(name)
+		if err != nil {
+			t.Fatalf("replay %s: %v", name, err)
+		}
+		admits += int64(rr.Admits)
+		releases += int64(rr.Releases)
+	}
+	if admits != rep.Admitted || releases != rep.Releases {
+		t.Errorf("journal admits/releases %d/%d, client %d/%d", admits, releases, rep.Admitted, rep.Releases)
+	}
+	if rep.Elapsed <= 0 || rep.QPS <= 0 || rep.P99 < rep.P50 {
+		t.Errorf("degenerate timing report: %+v", rep)
+	}
+}
+
+// TestRunDeterministic re-runs a single-worker config against a fresh
+// identical server: the seeded RNG must reproduce the decision sequence
+// exactly (with one worker there is no scheduler interleaving to vary it).
+func TestRunDeterministic(t *testing.T) {
+	run := func() loadgen.Report {
+		rep, err := loadgen.Run(context.Background(), loadgen.Config{
+			Links: []string{"core", "edge"}, Classes: testClasses,
+			Workers: 1, Decisions: 1500, Seed: 7,
+		}, loadgen.Direct{Srv: newServer(t)})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.Admits != b.Admits || a.Admitted != b.Admitted || a.Rejected != b.Rejected || a.Releases != b.Releases {
+		t.Errorf("same seed, different runs:\n  %+v\n  %+v", a, b)
+	}
+}
+
+func TestRunHTTPTransport(t *testing.T) {
+	srv := newServer(t)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	}()
+
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		Links: []string{"core"}, Classes: testClasses,
+		Workers: 2, Decisions: 400, Seed: 9,
+	}, loadgen.HTTP{Base: "http://" + addr})
+	if err != nil {
+		t.Fatalf("Run over HTTP: %v", err)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("%d errors over HTTP", rep.Errors)
+	}
+	if st := srv.Links()[0]; st.Active != 0 {
+		t.Errorf("core holds %d sessions after drain", st.Active)
+	}
+}
+
+func TestHTTPClientSurfacesServerErrors(t *testing.T) {
+	srv := newServer(t)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	}()
+	c := loadgen.HTTP{Base: "http://" + addr}
+	ctx := context.Background()
+	if _, err := c.Admit(ctx, admitd.AdmitRequest{Link: "nope", Class: "z:0.975"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown link") {
+		t.Errorf("Admit(unknown link) = %v, want the server's error surfaced", err)
+	}
+	if _, err := c.Release(ctx, admitd.ReleaseRequest{Link: "core", Class: "z:0.975"}); err == nil ||
+		!strings.Contains(err.Error(), "cannot release") {
+		t.Errorf("Release(empty link) = %v, want the server's error surfaced", err)
+	}
+}
+
+// TestRunDurationBound checks the Decisions=0 mode: the run stops when ctx
+// expires and still drains.
+func TestRunDurationBound(t *testing.T) {
+	srv := newServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		Links: []string{"core"}, Classes: testClasses,
+		Workers: 2, Seed: 3,
+	}, loadgen.Direct{Srv: srv})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Decisions == 0 {
+		t.Error("duration-bounded run made no decisions")
+	}
+	// The drain itself is cut off by ctx, so sessions may remain held —
+	// but the report must stay internally consistent.
+	if rep.Decisions != rep.Admits+rep.Releases {
+		t.Errorf("decisions %d != admits %d + releases %d", rep.Decisions, rep.Admits, rep.Releases)
+	}
+}

@@ -1,0 +1,11 @@
+package loadgen_test
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// Every loadgen worker must be joined by the time Run returns; the leak
+// gate turns a straggler into a package failure.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

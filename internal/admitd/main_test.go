@@ -1,0 +1,13 @@
+package admitd_test
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// The admission service is a long-running concurrent server; any goroutine
+// that survives the package's tests — an HTTP serve loop that outlived a
+// Shutdown, a worker leaked by the soak harness — is a bug the leak gate
+// turns into a failure.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

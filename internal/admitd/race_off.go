@@ -1,0 +1,10 @@
+//go:build !race
+
+package admitd
+
+// RaceEnabled reports whether the binary was built with the race
+// detector. The soak harness and CI gates use it to scale workloads and
+// latency budgets: race builds run the same code an order of magnitude
+// slower, and a latency assertion tuned for production builds would only
+// measure the instrumentation.
+const RaceEnabled = false

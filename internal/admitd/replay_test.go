@@ -1,0 +1,130 @@
+package admitd_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/admitd"
+	"repro/internal/cac"
+)
+
+// TestReplayDetectsForgedOverbooking feeds ReplayEvents a journal claiming
+// admissions far past capacity — the audit must refuse it. This is the
+// negative control for the soak harness: if the replay passed this, its
+// "zero capacity violations" verdict would be vacuous.
+func TestReplayDetectsForgedOverbooking(t *testing.T) {
+	events := []admitd.Event{
+		{Seq: 1, Op: "admit", Class: "z:0.975", Count: 1, Granted: true},
+		// smallLink fits a few dozen z:0.975 sources; 10000 is absurd.
+		{Seq: 2, Op: "admit", Class: "z:0.975", Count: 10000, Granted: true},
+	}
+	rep, err := admitd.ReplayEvents(events, smallLink, cac.BahadurRao)
+	if err == nil {
+		t.Fatalf("forged journal replayed clean: %+v", rep)
+	}
+	if !strings.Contains(err.Error(), "capacity violation") {
+		t.Errorf("error = %v, want a capacity violation", err)
+	}
+	if !strings.Contains(err.Error(), "event 2") {
+		t.Errorf("error = %v, want the violating event named", err)
+	}
+}
+
+func TestReplayMalformedJournals(t *testing.T) {
+	ok := admitd.Event{Seq: 1, Op: "admit", Class: "z:0.975", Count: 1, Granted: true}
+	cases := []struct {
+		name   string
+		events []admitd.Event
+		want   string
+	}{
+		{"release underflow",
+			[]admitd.Event{ok, {Seq: 2, Op: "release", Class: "z:0.975", Count: 2, Granted: true}},
+			"only 1 admitted"},
+		{"release of absent class",
+			[]admitd.Event{{Seq: 1, Op: "release", Class: "z:0.975", Count: 1, Granted: true}},
+			"only 0 admitted"},
+		{"unknown op",
+			[]admitd.Event{{Seq: 1, Op: "renege", Class: "z:0.975", Count: 1, Granted: true}},
+			"unknown op"},
+		{"non-positive count",
+			[]admitd.Event{{Seq: 1, Op: "admit", Class: "z:0.975", Count: 0, Granted: true}},
+			"count 0"},
+		{"bad class spec",
+			[]admitd.Event{{Seq: 1, Op: "admit", Class: "quux:9", Count: 1, Granted: true}},
+			"quux"},
+	}
+	for _, tc := range cases {
+		_, err := admitd.ReplayEvents(tc.events, smallLink, cac.BahadurRao)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+	// Bad link configuration fails before any event is read.
+	if _, err := admitd.ReplayEvents([]admitd.Event{ok}, admitd.LinkConfig{Name: "x", CLR: 1e-6}, cac.BahadurRao); err == nil {
+		t.Error("zero-capacity link accepted")
+	}
+}
+
+func TestReplaySkipsDeniedAndDedupesStates(t *testing.T) {
+	// Admit/release churn that revisits the same state: 1 → 0 → 1 → 0.
+	// Two denied attempts ride along and must not contribute state.
+	events := []admitd.Event{
+		{Seq: 1, Op: "admit", Class: "z:0.975", Count: 1, Granted: true},
+		{Seq: 2, Op: "admit", Class: "z:0.975", Count: 9999, Granted: false},
+		{Seq: 3, Op: "release", Class: "z:0.975", Count: 1, Granted: true},
+		{Seq: 4, Op: "admit", Class: "z:0.975", Count: 1, Granted: true},
+		{Seq: 5, Op: "admit", Class: "z:0.975", Count: 9999, Granted: false},
+		{Seq: 6, Op: "release", Class: "z:0.975", Count: 1, Granted: true},
+	}
+	rep, err := admitd.ReplayEvents(events, smallLink, cac.BahadurRao)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if rep.Events != 6 || rep.Admits != 2 || rep.Releases != 2 {
+		t.Errorf("replay counts = %+v", rep)
+	}
+	if rep.States != 1 {
+		t.Errorf("States = %d, want 1 (the z*1 state, visited twice, verified once)", rep.States)
+	}
+	if rep.FinalActive != 0 {
+		t.Errorf("FinalActive = %d, want 0", rep.FinalActive)
+	}
+}
+
+// TestReplayMatchesLiveJournal drives a live server and checks the replay
+// agrees with what the server did — the round-trip the soak harness relies
+// on.
+func TestReplayMatchesLiveJournal(t *testing.T) {
+	srv := newTestServer(t, true, smallLink)
+	var admitted int
+	for i := 0; i < 50; i++ {
+		resp, err := srv.Admit(admitd.AdmitRequest{Link: "small", Class: zClass})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Admitted {
+			admitted++
+		}
+	}
+	for i := 0; i < admitted/2; i++ {
+		if _, err := srv.Release(admitd.ReleaseRequest{Link: "small", Class: zClass}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := srv.ReplayJournal("small")
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if rep.Events != 50+admitted/2 {
+		t.Errorf("Events = %d, want %d", rep.Events, 50+admitted/2)
+	}
+	if rep.Admits != admitted || rep.Releases != admitted/2 {
+		t.Errorf("replay = %+v, want %d admits / %d releases", rep, admitted, admitted/2)
+	}
+	if want := admitted - admitted/2; rep.FinalActive != want {
+		t.Errorf("FinalActive = %d, want %d", rep.FinalActive, want)
+	}
+	if st := srv.Links()[0]; st.Active != rep.FinalActive {
+		t.Errorf("live state %d != replay state %d", st.Active, rep.FinalActive)
+	}
+}

@@ -12,6 +12,7 @@ package cac
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/solver"
@@ -43,6 +44,15 @@ func (l Link) Validate() error {
 	return nil
 }
 
+// LinkMs builds a Link from the units the CLIs and the admission service
+// speak: capacity in cells/sec, frame duration in seconds and the delay
+// bound in milliseconds. Every front end constructs links through this one
+// helper so the ms→s conversion cannot drift between the batch CLI
+// (cmd/admit) and the online server (internal/admitd).
+func LinkMs(cellsPerSec, ts, delayMs float64) Link {
+	return Link{CellsPerSec: cellsPerSec, Ts: ts, Delay: delayMs / 1000}
+}
+
 // CellsPerFrame returns the link capacity in cells/frame.
 func (l Link) CellsPerFrame() float64 { return l.CellsPerSec * l.Ts }
 
@@ -67,6 +77,21 @@ func (e Estimator) String() string {
 		return "large-N"
 	default:
 		return fmt.Sprintf("estimator(%d)", int(e))
+	}
+}
+
+// ParseEstimator resolves the estimator names the front ends accept
+// ("br"/"bahadur-rao" and "largen"/"large-n", case-insensitive). It is the
+// single name→Estimator mapping shared by cmd/admit and internal/admitd,
+// so the CLI and the server cannot accept different vocabularies.
+func ParseEstimator(name string) (Estimator, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "br", "bahadur-rao", "bahadurrao":
+		return BahadurRao, nil
+	case "largen", "large-n":
+		return LargeN, nil
+	default:
+		return 0, fmt.Errorf("cac: unknown estimator %q (want br|bahadur-rao or largen|large-n)", name)
 	}
 }
 

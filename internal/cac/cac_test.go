@@ -251,3 +251,40 @@ func TestEffectiveBandwidthValidation(t *testing.T) {
 		t.Error("target 0 should error")
 	}
 }
+
+func TestParseEstimator(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Estimator
+	}{
+		{"br", BahadurRao},
+		{"Bahadur-Rao", BahadurRao},
+		{"bahadurrao", BahadurRao},
+		{" largen ", LargeN},
+		{"LARGE-N", LargeN},
+	} {
+		got, err := ParseEstimator(tc.in)
+		if err != nil {
+			t.Fatalf("ParseEstimator(%q): %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Errorf("ParseEstimator(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	if _, err := ParseEstimator("monte-carlo"); err == nil {
+		t.Error("unknown estimator name should error")
+	}
+}
+
+func TestLinkMs(t *testing.T) {
+	l := LinkMs(365566, 0.040, 20)
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := l.Delay, 0.020; got != want {
+		t.Errorf("Delay = %v, want %v", got, want)
+	}
+	if got, want := l.CellsPerSec, 365566.0; got != want {
+		t.Errorf("CellsPerSec = %v, want %v", got, want)
+	}
+}

@@ -122,3 +122,101 @@ func TestMaxAdditionalValidation(t *testing.T) {
 		t.Error("target 1 should error")
 	}
 }
+
+func TestMaxAdditionalInfeasibleExistingMix(t *testing.T) {
+	// An existing mix that already violates the target (overbooked by
+	// mean rate, i.e. unstable) must yield exactly 0 additional
+	// connections and no error: "none fit" is an answer, not a failure.
+	z, err := models.NewZ(0.975)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := testLink(0.020)
+	over := int(link.CellsPerFrame()/z.Mean()) + 5 // mean load past capacity
+	mix := core.Mix{{Model: z, Count: over}}
+	ok, err := MixMeetsTarget(mix, link, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("overbooked mix cannot meet the target")
+	}
+	extra, err := MaxAdditional(mix, z, link, 1e-6)
+	if err != nil {
+		t.Fatalf("infeasible existing mix must not error: %v", err)
+	}
+	if extra != 0 {
+		t.Fatalf("got %d extra connections on an infeasible mix, want 0", extra)
+	}
+}
+
+func TestMaxAdditionalZeroCapacityLink(t *testing.T) {
+	// A zero-capacity link fails Link.Validate, so MaxAdditional reports
+	// the configuration error rather than silently answering 0.
+	z, err := models.NewZ(0.975)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := core.Mix{{Model: z, Count: 0}}
+	extra, err := MaxAdditional(mix, z, Link{CellsPerSec: 0, Ts: models.Ts, Delay: 0.02}, 1e-6)
+	if err == nil {
+		t.Fatal("zero-capacity link should error")
+	}
+	if extra != 0 {
+		t.Fatalf("errored call returned %d, want 0", extra)
+	}
+}
+
+func TestMaxAdditionalSingleSourceExceedsCapacity(t *testing.T) {
+	// A class whose single source's mean exceeds the whole link: the
+	// stability ceiling is negative, clamped to 0, and the answer is
+	// 0 with no error — the link is simply too small for this class.
+	z, err := models.NewZ(0.975)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny := Link{CellsPerSec: z.Mean() / (2 * models.Ts), Ts: models.Ts, Delay: 0.02}
+	if tiny.CellsPerFrame() >= z.Mean() {
+		t.Fatalf("test setup: link %v cells/frame should be below the class mean %v",
+			tiny.CellsPerFrame(), z.Mean())
+	}
+	extra, err := MaxAdditional(core.Mix{{Model: z, Count: 0}}, z, tiny, 1e-6)
+	if err != nil {
+		t.Fatalf("oversized class must not error: %v", err)
+	}
+	if extra != 0 {
+		t.Fatalf("got %d connections of a class that exceeds capacity, want 0", extra)
+	}
+}
+
+func TestMixMeetsTargetEst(t *testing.T) {
+	z, err := models.NewZ(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := testLink(0.020)
+	mix := core.Mix{{Model: z, Count: 5}}
+	br, err := MixMeetsTargetEst(mix, link, 1e-6, BahadurRao)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := MixMeetsTarget(mix, link, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br != def {
+		t.Fatal("MixMeetsTargetEst(BahadurRao) must agree with MixMeetsTarget")
+	}
+	// Large-N drops the Bahadur-Rao prefactor (< 1), so its estimate is
+	// larger and it can only be more conservative, never more permissive.
+	ln, err := MixMeetsTargetEst(mix, link, 1e-6, LargeN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ln && !br {
+		t.Fatal("large-N admitted a mix Bahadur-Rao rejected")
+	}
+	if _, err := MixMeetsTargetEst(mix, link, 1e-6, Estimator(42)); err == nil {
+		t.Error("unknown estimator should error")
+	}
+}

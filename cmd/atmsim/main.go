@@ -6,7 +6,13 @@
 //
 //	atmsim [-models z:0.975] [-c 538] [-n 30] [-buffers 0,2,5,10,20]
 //	       [-frames 100000] [-reps 8] [-seed 1] [-workers 0] [-bop]
-//	       [-telemetry ADDR]
+//	       [-adaptive] [-telemetry ADDR]
+//
+// With -adaptive (or an aimd:<spec> model spec) sources are closed-loop:
+// an AIMD controller scales each source's frame sizes against the queue
+// state fed back by the stepped multiplexer engine. Closed-loop CLR runs
+// execute one replication batch per buffer size instead of the coupled
+// single-pass sweep, since feedback couples arrivals to the buffer.
 //
 // With -bop the infinite-buffer overflow probability P(W > x) is measured
 // instead, at the workload levels implied by -buffers. CLR replications
@@ -30,30 +36,33 @@ import (
 	"syscall"
 
 	"repro/internal/experiments"
+	"repro/internal/models"
 	"repro/internal/modelspec"
 	"repro/internal/mux"
 	"repro/internal/runner"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/traffic"
 )
 
 var logx = telemetry.Log
 
 func main() {
 	var (
-		specs   = flag.String("models", "z:0.975,dar:0.975:1", "comma-separated model specs")
-		c       = flag.Float64("c", experiments.BopC, "bandwidth per source, cells/frame")
-		n       = flag.Int("n", experiments.BopN, "number of multiplexed sources")
-		buffers = flag.String("buffers", "0,2,5,10,15,20", "total-buffer sizes in msec, comma-separated")
-		frames  = flag.Int("frames", 100000, "frames per replication (paper: 500000)")
-		reps    = flag.Int("reps", 8, "replications (paper: 60)")
-		seed    = flag.Int64("seed", 1, "master seed")
-		workers = flag.Int("workers", 0, "parallel replication workers (0 = all cores, 1 = serial)")
-		bop     = flag.Bool("bop", false, "measure infinite-buffer P(W > x) instead of finite-buffer CLR")
-		telem   = flag.String("telemetry", "", "serve live metrics/pprof on this address (e.g. :6060); empty = off")
-		trc     = flag.String("trace", "", "write Chrome trace-event JSON of the run's span tree to this file (load in Perfetto)")
-		verbose = flag.Bool("v", false, "verbose logging (debug level)")
-		quiet   = flag.Bool("quiet", false, "log errors only (overrides -v)")
+		specs    = flag.String("models", "z:0.975,dar:0.975:1", "comma-separated model specs")
+		c        = flag.Float64("c", experiments.BopC, "bandwidth per source, cells/frame")
+		n        = flag.Int("n", experiments.BopN, "number of multiplexed sources")
+		buffers  = flag.String("buffers", "0,2,5,10,15,20", "total-buffer sizes in msec, comma-separated")
+		frames   = flag.Int("frames", 100000, "frames per replication (paper: 500000)")
+		reps     = flag.Int("reps", 8, "replications (paper: 60)")
+		seed     = flag.Int64("seed", 1, "master seed")
+		workers  = flag.Int("workers", 0, "parallel replication workers (0 = all cores, 1 = serial)")
+		bop      = flag.Bool("bop", false, "measure infinite-buffer P(W > x) instead of finite-buffer CLR")
+		adaptive = flag.Bool("adaptive", false, "wrap every model in the closed-loop AIMD rate controller (default parameters; equivalent to an aimd:<spec> prefix)")
+		telem    = flag.String("telemetry", "", "serve live metrics/pprof on this address (e.g. :6060); empty = off")
+		trc      = flag.String("trace", "", "write Chrome trace-event JSON of the run's span tree to this file (load in Perfetto)")
+		verbose  = flag.Bool("v", false, "verbose logging (debug level)")
+		quiet    = flag.Bool("quiet", false, "log errors only (overrides -v)")
 	)
 	flag.Parse()
 	logx.SetPrefix("atmsim")
@@ -79,6 +88,18 @@ func main() {
 	ms, err := modelspec.ParseList(*specs)
 	if err != nil {
 		fatal(err)
+	}
+	if *adaptive {
+		for i, m := range ms {
+			if traffic.IsClosedLoopModel(m) {
+				continue // already adaptive (e.g. an aimd:<spec> model)
+			}
+			a, err := models.NewAIMD(m, models.AIMDConfig{})
+			if err != nil {
+				fatal(err)
+			}
+			ms[i] = a
+		}
 	}
 	msecs, err := parseFloats(*buffers)
 	if err != nil {
@@ -117,10 +138,31 @@ func main() {
 			Model: m, N: *n, C: *c, Frames: *frames,
 			Warmup: *frames / 20, Seed: *seed,
 		}
-		byBuffer, err := mux.SweepReplicationsEngine(trace.ContextWith(ctx, sp), eng, cfg, cells, *reps)
-		sp.End()
-		if err != nil {
-			fatal(err)
+		// Closed-loop models cannot share a coupled buffer sweep (the
+		// feedback tap makes arrivals depend on the buffer), so each
+		// buffer runs its own replication batch through the stepped
+		// engine; open-loop models keep the coupled single-pass sweep.
+		var byBuffer [][]mux.Result
+		if traffic.IsClosedLoopModel(m) {
+			byBuffer = make([][]mux.Result, len(cells))
+			for i, b := range cells {
+				c := cfg
+				c.B = b
+				results, err := mux.RunReplicationsEngine(trace.ContextWith(ctx, sp), eng, c, *reps)
+				if err != nil {
+					sp.End()
+					fatal(err)
+				}
+				byBuffer[i] = results
+			}
+			sp.End()
+		} else {
+			var err error
+			byBuffer, err = mux.SweepReplicationsEngine(trace.ContextWith(ctx, sp), eng, cfg, cells, *reps)
+			sp.End()
+			if err != nil {
+				fatal(err)
+			}
 		}
 		fmt.Printf("  %-12s %-14s %-22s\n", "buffer msec", "CLR", "95% CI")
 		for i := range cells {

@@ -52,7 +52,7 @@ var logx = telemetry.Log
 
 func main() {
 	var (
-		exps    = flag.String("exp", "all", "comma-separated experiment ids (table1, fig1..fig10) or 'all' (figs + table1 + extmpeg,extsub,extmarg)")
+		exps    = flag.String("exp", "all", "comma-separated experiment ids (table1, fig1..fig10, ext...) or 'all' (figs + table1 + extmpeg,extsub,extweibull,extmarg,extflr,extloop)")
 		reps    = flag.Int("reps", experiments.DefaultSim.Reps, "simulation replications (paper: 60)")
 		frames  = flag.Int("frames", experiments.DefaultSim.Frames, "frames per replication (paper: 500000)")
 		seed    = flag.Int64("seed", experiments.DefaultSim.Seed, "master random seed")
@@ -211,6 +211,10 @@ func main() {
 		}},
 		{"extflr", func(sp trace.Span) ([]*experiments.Result, error) {
 			r, err := experiments.ExtFLR(withSpan(sp))
+			return []*experiments.Result{r}, err
+		}},
+		{"extloop", func(sp trace.Span) ([]*experiments.Result, error) {
+			r, err := experiments.ExtClosedLoop(withSpan(sp))
 			return []*experiments.Result{r}, err
 		}},
 	}

@@ -1,0 +1,62 @@
+package models_test
+
+import (
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/mux"
+)
+
+// TestAIMDReducesCLRUnderCongestion is the controller sanity check: at a
+// congested operating point (N=30 Z^0.975 sources on c=510, ~98%
+// offered utilisation) the adaptive source must lose markedly fewer
+// cells than its open-loop twin, without starving itself — the realised
+// mean rate stays within a small band of the open-loop one. The twin
+// shares the master seed, so both runs see the same underlying base
+// sample paths and differ only through the controller.
+func TestAIMDReducesCLRUnderCongestion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	z, err := models.NewZ(0.975)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := models.NewAIMD(z, models.AIMDConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mux.Config{N: 30, C: 510, B: 25, Frames: 8000, Warmup: 400, Seed: 7}
+
+	cfg.Model = z
+	open, err := mux.RunReplications(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Model = adaptive
+	closed, err := mux.RunReplications(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	openCLR := mux.CLREstimate(open, 0.95).Point
+	closedCLR := mux.CLREstimate(closed, 0.95).Point
+	if openCLR < 1e-4 {
+		t.Fatalf("operating point not congested enough: open-loop CLR %v", openCLR)
+	}
+	if closedCLR >= openCLR/2 {
+		t.Fatalf("adaptive CLR %v not at least 2x below open-loop %v", closedCLR, openCLR)
+	}
+
+	// Equal-mean-rate check: adaptation must shed only the congested
+	// tail, not throttle the source wholesale.
+	var openArr, closedArr float64
+	for i := range open {
+		openArr += open[i].ArrivedCells
+		closedArr += closed[i].ArrivedCells
+	}
+	if closedArr < 0.9*openArr || closedArr > openArr {
+		t.Fatalf("adaptive arrivals %v outside [90%%, 100%%] of open-loop %v",
+			closedArr, openArr)
+	}
+}

@@ -1,0 +1,177 @@
+package models
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/traffic"
+)
+
+func TestAIMDConfigDefaults(t *testing.T) {
+	got := AIMDConfig{}.withDefaults()
+	if got != DefaultAIMD {
+		t.Fatalf("zero config → %+v, want DefaultAIMD %+v", got, DefaultAIMD)
+	}
+	partial := AIMDConfig{Target: 0.5, Decrease: 0.8}.withDefaults()
+	if partial.Target != 0.5 || partial.Decrease != 0.8 {
+		t.Fatalf("explicit fields overwritten: %+v", partial)
+	}
+	if partial.Increase != DefaultAIMD.Increase || partial.MaxRate != DefaultAIMD.MaxRate {
+		t.Fatalf("zero fields not defaulted: %+v", partial)
+	}
+	if err := DefaultAIMD.Validate(); err != nil {
+		t.Fatalf("DefaultAIMD invalid: %v", err)
+	}
+}
+
+func TestAIMDConfigValidate(t *testing.T) {
+	bad := []AIMDConfig{
+		{Target: 1.5},            // target above 1
+		{Target: -0.1},           // negative target
+		{Increase: -0.01},        // negative increase
+		{Decrease: 1.5},          // decrease not a back-off
+		{MinRate: 2, MaxRate: 1}, // inverted clamp
+		{Smoothing: 2},           // EWMA weight above 1
+	}
+	for i, c := range bad {
+		if err := c.withDefaults().Validate(); err == nil {
+			t.Errorf("case %d (%+v): expected error", i, c)
+		}
+	}
+}
+
+func TestNewAIMDNilBase(t *testing.T) {
+	if _, err := NewAIMD(nil, AIMDConfig{}); err == nil {
+		t.Fatal("nil base should error")
+	}
+}
+
+func TestAIMDModelDelegates(t *testing.T) {
+	z, err := NewZ(0.975)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewAIMD(z, AIMDConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "AIMD[Z^0.975]" {
+		t.Fatalf("name %q", m.Name())
+	}
+	if m.Mean() != z.Mean() || m.Variance() != z.Variance() || m.ACF(5) != z.ACF(5) {
+		t.Fatal("offered-process moments must delegate to the base model")
+	}
+	if m.Base() != traffic.Model(z) {
+		t.Fatal("Base() must return the wrapped model")
+	}
+	if !traffic.IsClosedLoopModel(m) {
+		t.Fatal("AIMD generators must be closed-loop")
+	}
+	if traffic.IsClosedLoopModel(z) {
+		t.Fatal("base Z model must stay open-loop")
+	}
+}
+
+// calmFeedback is an uncongested observation: empty queue, no loss.
+var calmFeedback = traffic.Feedback{Buffer: 100, Capacity: 500, Utilization: 0.5}
+
+func TestAIMDControllerIncreasesWhenCalm(t *testing.T) {
+	z, err := NewZ(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewAIMD(z, AIMDConfig{MinRate: 0.3, MaxRate: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.NewGenerator(1).(*aimdGen)
+	g.rate = 0.5
+	prev := g.rate
+	for i := 0; i < 10; i++ {
+		g.Observe(calmFeedback)
+		if g.rate < prev {
+			t.Fatalf("rate fell to %v while calm", g.rate)
+		}
+		prev = g.rate
+	}
+	want := 0.5 + 10*m.Config().Increase
+	if math.Abs(g.rate-want) > 1e-12 {
+		t.Fatalf("rate %v after 10 calm frames, want %v", g.rate, want)
+	}
+	for i := 0; i < 1000; i++ {
+		g.Observe(calmFeedback)
+	}
+	if g.rate != 0.9 {
+		t.Fatalf("rate %v must clamp at MaxRate 0.9", g.rate)
+	}
+}
+
+func TestAIMDControllerBacksOffOnLoss(t *testing.T) {
+	z, err := NewZ(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewAIMD(z, AIMDConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.NewGenerator(1).(*aimdGen)
+	lossy := calmFeedback
+	lossy.Loss = 12
+	g.Observe(lossy)
+	want := 1.0 * m.Config().Decrease
+	if math.Abs(g.rate-want) > 1e-12 {
+		t.Fatalf("rate %v after one loss frame, want %v", g.rate, want)
+	}
+	for i := 0; i < 1000; i++ {
+		g.Observe(lossy)
+	}
+	if g.rate != m.Config().MinRate {
+		t.Fatalf("rate %v must clamp at MinRate %v", g.rate, m.Config().MinRate)
+	}
+}
+
+func TestAIMDControllerBacksOffAboveTargetOccupancy(t *testing.T) {
+	z, err := NewZ(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewAIMD(z, AIMDConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.NewGenerator(1).(*aimdGen)
+	full := traffic.Feedback{W: 95, Buffer: 100, Capacity: 500, Utilization: 1}
+	for i := 0; i < 50; i++ {
+		g.Observe(full) // EWMA occupancy climbs toward 0.95 > Target 0.7
+	}
+	if g.rate >= 1 {
+		t.Fatalf("rate %v did not back off with occupancy above target", g.rate)
+	}
+}
+
+func TestAIMDRateScalesFrames(t *testing.T) {
+	// NextFrame must be the base draw times the current rate, and the
+	// base stream must advance exactly one draw per frame so congestion
+	// history never desynchronises the underlying sample path.
+	z, err := NewZ(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewAIMD(z, AIMDConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed = 77
+	base := z.NewGenerator(seed)
+	g := m.NewGenerator(seed).(*aimdGen)
+	lossy := calmFeedback
+	lossy.Loss = 5
+	for i := 0; i < 20; i++ {
+		want := base.NextFrame() * g.rate
+		if got := g.NextFrame(); got != want {
+			t.Fatalf("frame %d: got %v, want base·rate %v", i, got, want)
+		}
+		g.Observe(lossy) // rate decays; the paths must stay aligned
+	}
+}

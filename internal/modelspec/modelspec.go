@@ -14,6 +14,9 @@
 //	farima:<d>   fractional ARIMA(0,d,0) with the standard marginal
 //	mmpp:<a>     symmetric 2-state MMPP with the standard moments and
 //	             geometric ACF decay ratio a
+//	aimd:<spec>  closed-loop AIMD rate controller wrapped around any other
+//	             spec, e.g. aimd:z:0.975 — sources adapt frame sizes to
+//	             multiplexer feedback (default controller parameters)
 package modelspec
 
 import (
@@ -34,6 +37,15 @@ import (
 func Parse(spec string) (traffic.Model, error) {
 	parts := strings.Split(strings.TrimSpace(strings.ToLower(spec)), ":")
 	switch parts[0] {
+	case "aimd":
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("modelspec: want aimd:<spec>, got %q", spec)
+		}
+		base, err := Parse(strings.Join(parts[1:], ":"))
+		if err != nil {
+			return nil, err
+		}
+		return models.NewAIMD(base, models.AIMDConfig{})
 	case "z":
 		a, err := oneArg(parts, "z:<a>")
 		if err != nil {
@@ -113,7 +125,7 @@ func Parse(spec string) (traffic.Model, error) {
 		}
 		return models.NewMPEG(z, w)
 	default:
-		return nil, fmt.Errorf("modelspec: unknown model %q (want z:, v:, l, dar:, dar1:, fgn:)", spec)
+		return nil, fmt.Errorf("modelspec: unknown model %q (want z:, v:, l, dar:, dar1:, fgn:, aimd:, ...)", spec)
 	}
 }
 

@@ -7,17 +7,19 @@ import (
 
 func TestParseValid(t *testing.T) {
 	cases := map[string]string{
-		"z:0.975":     "Z^0.975",
-		"v:1.5":       "V^1.5",
-		"l":           "L",
-		"dar:0.975:2": "DAR(2)[Z^0.975]",
-		"dar1:0.8":    "DAR(1)",
-		"fgn:0.9":     "FGN(H=0.9)",
-		"mginf:0.9":   "M/G/inf(γ=1.2)",
-		"mpeg:0.9":    "MPEG[Z^0.9]",
-		"farima:0.4":  "F-ARIMA(d=0.4)",
-		"mmpp:0.9":    "MMPP2(a=0.9)",
-		" Z:0.7 ":     "Z^0.7", // case and whitespace insensitive
+		"z:0.975":          "Z^0.975",
+		"v:1.5":            "V^1.5",
+		"l":                "L",
+		"dar:0.975:2":      "DAR(2)[Z^0.975]",
+		"dar1:0.8":         "DAR(1)",
+		"fgn:0.9":          "FGN(H=0.9)",
+		"mginf:0.9":        "M/G/inf(γ=1.2)",
+		"mpeg:0.9":         "MPEG[Z^0.9]",
+		"farima:0.4":       "F-ARIMA(d=0.4)",
+		"mmpp:0.9":         "MMPP2(a=0.9)",
+		" Z:0.7 ":          "Z^0.7", // case and whitespace insensitive
+		"aimd:z:0.975":     "AIMD[Z^0.975]",
+		"aimd:dar:0.975:1": "AIMD[DAR(1)[Z^0.975]]", // nested specs keep their colons
 	}
 	for spec, wantName := range cases {
 		m, err := Parse(spec)
@@ -40,6 +42,7 @@ func TestParseInvalid(t *testing.T) {
 		"dar", "dar:0.9", "dar:0.9:x", "dar:0.9:0",
 		"dar1:1.5", "fgn:0", "fgn", "dar1",
 		"mginf:0.5", "mginf", "mpeg:0", "mpeg", "farima:0.6", "farima", "mmpp:0", "mmpp",
+		"aimd", "aimd:", "aimd:q:1", "aimd:z:2",
 	}
 	for _, spec := range bad {
 		if _, err := Parse(spec); err == nil {

@@ -1,0 +1,284 @@
+package mux
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/runner"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+func TestLindleyStep(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		name       string
+		w, a, c, b float64
+		loss, next float64
+	}{
+		{"empty stays empty", 0, 0, 10, 5, 0, 0},
+		{"underload drains", 3, 2, 10, 5, 0, 0},
+		{"net exactly zero", 4, 6, 10, 5, 0, 0},
+		{"queues below buffer", 1, 12, 10, 5, 0, 3},
+		{"fills buffer exactly", 0, 15, 10, 5, 0, 5},
+		{"overflow clips to buffer", 2, 20, 10, 5, 7, 5},
+		{"zero buffer loses all backlog", 0, 14, 10, 0, 4, 0},
+		{"infinite buffer never loses", 100, 1000, 10, inf, 0, 1090},
+		{"infinite buffer drains", 5, 2, 10, inf, 0, 0},
+	}
+	for _, tc := range cases {
+		loss, next := lindleyStep(tc.w, tc.a, tc.c, tc.b)
+		if loss != tc.loss || next != tc.next {
+			t.Errorf("%s: lindleyStep(%g,%g,%g,%g) = (%g,%g), want (%g,%g)",
+				tc.name, tc.w, tc.a, tc.c, tc.b, loss, next, tc.loss, tc.next)
+		}
+	}
+}
+
+// aimdModel wraps a Z model with the default AIMD controller for the
+// closed-loop tests below.
+func aimdModel(t testing.TB, a float64) traffic.Model {
+	t.Helper()
+	z, err := models.NewZ(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := models.NewAIMD(z, models.AIMDConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestForceStepMatchesChunkedRun(t *testing.T) {
+	// The stepped engine must reproduce the chunked fast path exactly:
+	// the block contract makes open-loop sample paths invariant under
+	// Fill partitioning, and both paths share lindleyStep. Frames spans
+	// several chunk boundaries (chunkFrames = 4096).
+	z, err := models.NewZ(0.975)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Model: z, N: 10, C: 520, B: 30, Frames: 9000, Warmup: 500, Seed: 42}
+	chunked, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ForceStep = true
+	stepped, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunked != stepped {
+		t.Fatalf("stepped engine drifted from chunked path:\nchunked %+v\nstepped %+v",
+			chunked, stepped)
+	}
+}
+
+func TestForceStepMatchesChunkedBOP(t *testing.T) {
+	z, err := models.NewZ(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := BOPConfig{Model: z, N: 5, C: 510, Frames: 9000, Warmup: 300,
+		Seed: 7, Thresholds: []float64{0, 50, 200, 1000}}
+	chunked, err := RunBOP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ForceStep = true
+	stepped, err := RunBOP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunked.Prob) != len(stepped.Prob) {
+		t.Fatalf("threshold count mismatch: %d vs %d", len(chunked.Prob), len(stepped.Prob))
+	}
+	for i := range chunked.Prob {
+		if chunked.Prob[i] != stepped.Prob[i] {
+			t.Fatalf("threshold %g: chunked %v != stepped %v",
+				chunked.Thresholds[i], chunked.Prob[i], stepped.Prob[i])
+		}
+	}
+	if chunked.MaxW != stepped.MaxW {
+		t.Fatalf("max workload: chunked %v != stepped %v", chunked.MaxW, stepped.MaxW)
+	}
+}
+
+func TestForceStepMatchesChunkedSampleWorkload(t *testing.T) {
+	z, err := models.NewZ(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := BOPConfig{Model: z, N: 5, C: 510, Frames: 9000, Seed: 11}
+	chunked, err := SampleWorkload(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ForceStep = true
+	stepped, err := SampleWorkload(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunked) != len(stepped) {
+		t.Fatalf("sample count mismatch: %d vs %d", len(chunked), len(stepped))
+	}
+	for i := range chunked {
+		if chunked[i] != stepped[i] {
+			t.Fatalf("sample %d: chunked %v != stepped %v", i, chunked[i], stepped[i])
+		}
+	}
+}
+
+func TestClosedLoopRunDeterministic(t *testing.T) {
+	// Closed-loop sources are deterministic functions of (seed, feedback
+	// sequence) and the engine's feedback sequence is itself
+	// deterministic, so repeated same-seed runs must be bit-identical.
+	cfg := Config{Model: aimdModel(t, 0.975), N: 8, C: 510, B: 25,
+		Frames: 6000, Warmup: 300, Seed: 1996}
+	first, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		again, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first != again {
+			t.Fatalf("repeat %d drifted:\nfirst %+v\nagain %+v", i, first, again)
+		}
+	}
+	if first.ArrivedCells <= 0 {
+		t.Fatal("closed-loop run produced no arrivals")
+	}
+}
+
+func TestClosedLoopConservation(t *testing.T) {
+	// arrived = lost + served + ΔW must hold exactly in the stepped
+	// engine as it does in the chunked path; served ≤ C per frame bounds
+	// the serve volume.
+	cfg := Config{Model: aimdModel(t, 0.9), N: 5, C: 505, B: 20,
+		Frames: 4000, Seed: 3}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := res.ArrivedCells - res.LostCells - (res.FinalW - res.InitialW)
+	if served < 0 || served > cfg.C*float64(cfg.N)*float64(cfg.Frames) {
+		t.Fatalf("served volume %v outside [0, C·N·frames]", served)
+	}
+	if res.MaxWorkload > cfg.B*float64(cfg.N)+1e-9 {
+		t.Fatalf("workload %v exceeded total buffer %v", res.MaxWorkload, cfg.B*float64(cfg.N))
+	}
+}
+
+func TestClosedLoopReplicationsEngineWorkers(t *testing.T) {
+	// Replication fan-out must be bit-identical for every worker count:
+	// each replication derives its own seed and the stepped engine is
+	// single-threaded within a replication.
+	cfg := Config{Model: aimdModel(t, 0.975), N: 6, C: 505, B: 15,
+		Frames: 3000, Warmup: 200, Seed: 1996}
+	const reps = 6
+	serial, err := RunReplicationsEngine(context.Background(), runner.New(1), cfg, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != reps {
+		t.Fatalf("got %d results, want %d", len(serial), reps)
+	}
+	for _, workers := range []int{runtime.NumCPU(), 2, reps} {
+		parallel, err := RunReplicationsEngine(context.Background(), runner.New(workers), cfg, reps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := range serial {
+			if serial[r] != parallel[r] {
+				t.Fatalf("workers=%d rep %d: serial %+v != parallel %+v",
+					workers, r, serial[r], parallel[r])
+			}
+		}
+	}
+}
+
+func TestRunSweepRejectsClosedLoop(t *testing.T) {
+	cfg := Config{Model: aimdModel(t, 0.9), N: 4, C: 510, Frames: 1000, Seed: 1}
+	if _, err := RunSweep(cfg, []float64{0, 10}); err == nil {
+		t.Fatal("RunSweep accepted a closed-loop model; feedback couples arrivals to the buffer")
+	}
+	if _, err := SweepReplications(cfg, []float64{0, 10}, 2); err == nil {
+		t.Fatal("SweepReplications accepted a closed-loop model")
+	}
+}
+
+func TestRunMixClosedLoop(t *testing.T) {
+	// A mix of open- and closed-loop sources drives the stepped path;
+	// repeated runs must agree exactly, and a pure-open-loop mix must be
+	// unaffected by ForceStep.
+	z, err := models.NewZ(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := MixConfig{
+		Mix: core.Mix{
+			{Model: z, Count: 4},
+			{Model: aimdModel(t, 0.9), Count: 4},
+		},
+		TotalC: 4080, TotalB: 160, Frames: 4000, Warmup: 200, Seed: 5,
+	}
+	first, err := RunMix(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := RunMix(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != again {
+		t.Fatalf("closed-loop mix drifted:\nfirst %+v\nagain %+v", first, again)
+	}
+
+	open := MixConfig{
+		Mix:    core.Mix{{Model: z, Count: 4}, {Model: z, Count: 4}},
+		TotalC: 4080, TotalB: 160, Frames: 4000, Warmup: 200, Seed: 5,
+	}
+	chunked, err := RunMix(open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	open.ForceStep = true
+	stepped, err := RunMix(open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunked != stepped {
+		t.Fatalf("open-loop mix: stepped %+v != chunked %+v", stepped, chunked)
+	}
+}
+
+func TestCLREstimateEmpty(t *testing.T) {
+	got := CLREstimate(nil, 0.95)
+	want := stats.CI{Level: 0.95}
+	if got != want {
+		t.Fatalf("CLREstimate(nil) = %+v, want zero-value CI %+v", got, want)
+	}
+	got = CLREstimate([]Result{}, 0.9)
+	want = stats.CI{Level: 0.9}
+	if got != want {
+		t.Fatalf("CLREstimate(empty) = %+v, want %+v", got, want)
+	}
+}
+
+func TestSampleWorkloadEveryValidation(t *testing.T) {
+	m := iidGaussian(t, 500, 5000)
+	cfg := BOPConfig{Model: m, N: 5, C: 510, Frames: 100, Seed: 1}
+	for _, every := range []int{0, -1, -100} {
+		if _, err := SampleWorkload(cfg, every); err == nil {
+			t.Fatalf("every=%d should error", every)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/seed"
+	"repro/internal/trace"
 	"repro/internal/traffic"
 )
 
@@ -18,6 +19,11 @@ type MixConfig struct {
 	Frames int
 	Warmup int
 	Seed   int64
+	// Span parents the run's trace spans; observational only.
+	Span trace.Span
+	// ForceStep forces the per-frame stepped engine for open-loop mixes;
+	// see Config.ForceStep.
+	ForceStep bool
 }
 
 // Validate checks the configuration.
@@ -38,7 +44,11 @@ func (c MixConfig) Validate() error {
 }
 
 // RunMix executes one heterogeneous replication with the same fluid
-// Lindley dynamics as Run.
+// Lindley dynamics as Run. A mix may combine open- and closed-loop
+// classes: when any component's generators tap the feedback loop the run
+// steps frame-by-frame (open-loop components keep their chunked block
+// fills inside the engine), otherwise the whole mix drains through the
+// chunked fast path bit-identically to the historical block pipeline.
 func RunMix(cfg MixConfig) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
@@ -60,13 +70,17 @@ func RunMix(cfg MixConfig) (Result, error) {
 			k++
 		}
 	}
-	ba := newBlockAggregator(gens)
-	defer ba.release()
+	eng := newEngine(gens, cfg.TotalC, cfg.TotalB, cfg.Span)
+	defer eng.release()
+	if eng.closedLoop() || cfg.ForceStep {
+		return runStepped(eng, cfg.Frames, cfg.Warmup, cfg.Span), nil
+	}
+
 	var w float64
 	for rem := cfg.Warmup; rem > 0; {
 		n := min(rem, chunkFrames)
-		for _, a := range ba.next(n) {
-			w = clip(w+a-cfg.TotalC, cfg.TotalB)
+		for _, a := range eng.nextChunk(n) {
+			_, w = lindleyStep(w, a, cfg.TotalC, cfg.TotalB)
 		}
 		rem -= n
 	}
@@ -74,16 +88,16 @@ func RunMix(cfg MixConfig) (Result, error) {
 	var sumW float64
 	for rem := cfg.Frames; rem > 0; {
 		n := min(rem, chunkFrames)
-		chunk := ba.next(n)
+		chunk := eng.nextChunk(n)
 		stopDrain := metDrainTime.Start()
 		for _, a := range chunk {
 			res.ArrivedCells += a
-			net := w + a - cfg.TotalC
-			if loss := net - cfg.TotalB; loss > 0 {
+			loss, next := lindleyStep(w, a, cfg.TotalC, cfg.TotalB)
+			if loss > 0 {
 				res.LostCells += loss
 				res.LossFrames++
 			}
-			w = clip(net, cfg.TotalB)
+			w = next
 			sumW += w
 			if w > res.MaxWorkload {
 				res.MaxWorkload = w

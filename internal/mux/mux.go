@@ -15,6 +15,13 @@
 // measures the cell loss rate CLR = Σ loss / Σ A; the infinite-buffer run
 // measures the buffer overflow probability P(W > x) that the paper's
 // large-deviations asymptotics estimate.
+//
+// Both runs are built on one stepped simulation core (Engine) around a
+// single shared Lindley kernel (lindleyStep). Open-loop sources are
+// drained in 4096-frame chunks exactly as the historical block pipeline
+// did; when any source is closed-loop (traffic.FeedbackGenerator) the run
+// advances frame-by-frame so the post-frame queue state can feed back
+// into generation.
 package mux
 
 import (
@@ -22,10 +29,13 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/runner"
 	"repro/internal/seed"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/traffic"
+
+	"context"
 )
 
 // Config describes one finite-buffer simulation replication.
@@ -41,6 +51,12 @@ type Config struct {
 	// spans. Purely observational (never part of seeds or fingerprints);
 	// the zero Span disables chunk tracing at the cost of one branch.
 	Span trace.Span
+	// ForceStep drives the run through the per-frame stepped engine even
+	// when every source is open-loop. Results are bit-identical to the
+	// chunked fast path (the block contract makes sample paths invariant
+	// under Fill partitioning); only the per-frame overhead differs. Used
+	// by the equivalence tests and the engine benchmarks.
+	ForceStep bool
 }
 
 // Validate checks the configuration.
@@ -81,28 +97,33 @@ type Result struct {
 
 // Run executes one finite-buffer replication. Source i uses a child seed
 // derived from cfg.Seed, so replications are reproducible and sources
-// mutually independent. Arrivals are pulled in chunkFrames-sized blocks
-// and the Lindley recursion runs over the contiguous aggregate slice;
-// the sample path is bit-identical to the per-frame scalar protocol.
+// mutually independent.
+//
+// With only open-loop sources, arrivals are pulled in chunkFrames-sized
+// blocks and the Lindley kernel runs over the contiguous aggregate slice;
+// the sample path is bit-identical to the per-frame scalar protocol. With
+// any closed-loop source the run steps frame-by-frame through the engine
+// so queue state feeds back into generation.
 func Run(cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
-	gens, err := sourceGenerators(cfg.Model, cfg.N, cfg.Seed)
+	eng, err := newRunEngine(cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	ba := newBlockAggregator(gens)
-	ba.span = cfg.Span
-	defer ba.release()
+	defer eng.release()
+	if eng.closedLoop() || cfg.ForceStep {
+		return runStepped(eng, cfg.Frames, cfg.Warmup, cfg.Span), nil
+	}
+
 	totalC := float64(cfg.N) * cfg.C
 	totalB := float64(cfg.N) * cfg.B
-
 	var w float64
 	for rem := cfg.Warmup; rem > 0; {
 		n := min(rem, chunkFrames)
-		for _, a := range ba.next(n) {
-			w = clip(w+a-totalC, totalB)
+		for _, a := range eng.nextChunk(n) {
+			_, w = lindleyStep(w, a, totalC, totalB)
 		}
 		rem -= n
 	}
@@ -110,17 +131,17 @@ func Run(cfg Config) (Result, error) {
 	var sumW float64
 	for rem := cfg.Frames; rem > 0; {
 		n := min(rem, chunkFrames)
-		chunk := ba.next(n)
+		chunk := eng.nextChunk(n)
 		spDrain := cfg.Span.Child("mux drain", trace.Int("frames", n))
 		stopDrain := metDrainTime.Start()
 		for _, a := range chunk {
 			res.ArrivedCells += a
-			net := w + a - totalC
-			if loss := net - totalB; loss > 0 {
+			loss, next := lindleyStep(w, a, totalC, totalB)
+			if loss > 0 {
 				res.LostCells += loss
 				res.LossFrames++
 			}
-			w = clip(net, totalB)
+			w = next
 			sumW += w
 			if w > res.MaxWorkload {
 				res.MaxWorkload = w
@@ -140,17 +161,6 @@ func Run(cfg Config) (Result, error) {
 	metCellsArrived.Add(res.ArrivedCells)
 	metCellsLost.Add(res.LostCells)
 	return res, nil
-}
-
-// clip applies the finite-buffer boundary: max(0, min(x, b)).
-func clip(x, b float64) float64 {
-	if x < 0 {
-		return 0
-	}
-	if x > b {
-		return b
-	}
-	return x
 }
 
 // ChildSeeds derives n per-source seeds from a master seed via the
@@ -205,9 +215,51 @@ func RunReplications(cfg Config, reps int) ([]Result, error) {
 	return out, nil
 }
 
+// RunReplicationsEngine executes reps independent replications of Run on
+// the orchestration engine's worker pool. Replication i always runs with
+// the splitmix64-derived seed of (cfg.Seed, job, i), so the output is
+// bit-identical for every worker count — including for closed-loop
+// configurations, whose feedback dynamics are confined to each
+// replication's own serial step loop.
+//
+// This is the replication fan-out for configurations that cannot share a
+// coupled buffer sweep (closed-loop sources, where the queue state feeds
+// back into generation and therefore depends on the buffer size).
+func RunReplicationsEngine(ctx context.Context, eng *runner.Engine, cfg Config, reps int) ([]Result, error) {
+	if reps < 1 {
+		return nil, fmt.Errorf("mux: reps = %d must be ≥ 1", reps)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	spec := runner.Spec{
+		ID:         "mux/clr/" + cfg.Model.Name(),
+		Reps:       reps,
+		MasterSeed: cfg.Seed,
+		Fingerprint: fmt.Sprintf("mux/clr|model=%s|N=%d|c=%g|b=%g|frames=%d|warmup=%d",
+			cfg.Model.Name(), cfg.N, cfg.C, cfg.B, cfg.Frames, cfg.Warmup),
+	}
+	return runner.Run(ctx, eng, spec, func(ctx context.Context, r runner.Rep) (Result, error) {
+		c := cfg
+		c.Seed = r.Seed
+		c.Span = trace.FromContext(ctx)
+		res, err := Run(c)
+		if err != nil {
+			return Result{}, err
+		}
+		r.AddUnits(int64(c.Frames))
+		return res, nil
+	})
+}
+
 // CLREstimate pools replication results into a ratio estimate of the cell
-// loss rate with a replication confidence interval.
+// loss rate with a replication confidence interval. An empty results slice
+// yields the defined zero-value estimate (point 0, zero half-width,
+// NumObs 0) rather than propagating NaNs into downstream figures.
 func CLREstimate(results []Result, level float64) stats.CI {
+	if len(results) == 0 {
+		return stats.CI{Level: level}
+	}
 	clrs := make([]float64, len(results))
 	for i, r := range results {
 		clrs[i] = r.CLR
@@ -225,6 +277,9 @@ type BOPConfig struct {
 	Seed       int64
 	Thresholds []float64 // workload levels x (total cells) for P(W > x)
 	Span       trace.Span
+	// ForceStep forces the per-frame stepped engine for open-loop sources;
+	// see Config.ForceStep.
+	ForceStep bool
 }
 
 // Validate checks the configuration.
@@ -254,58 +309,86 @@ type BOPResult struct {
 	MaxW       float64
 }
 
+// countThresholds bumps counts[k] for every sorted threshold thr[k]
+// exceeded by workload w — shared by the chunked and stepped BOP loops.
+func countThresholds(w float64, thr []float64, counts []int) {
+	for j := len(thr) - 1; j >= 0; j-- {
+		if w > thr[j] {
+			for k := 0; k <= j; k++ {
+				counts[k]++
+			}
+			break
+		}
+	}
+}
+
 // RunBOP simulates the infinite-buffer workload recursion and estimates
 // P(W > x) at each threshold as the fraction of frame boundaries whose
-// workload exceeds x.
+// workload exceeds x. Closed-loop sources drop the run to the per-frame
+// stepped engine (feedback carries Buffer = +Inf and zero loss — the
+// congestion signal is utilization alone).
 func RunBOP(cfg BOPConfig) (BOPResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return BOPResult{}, err
 	}
 	thr := append([]float64(nil), cfg.Thresholds...)
 	sort.Float64s(thr)
-	gens, err := sourceGenerators(cfg.Model, cfg.N, cfg.Seed)
+	eng, err := newBOPEngine(cfg, cfg.Span)
 	if err != nil {
 		return BOPResult{}, err
 	}
-	ba := newBlockAggregator(gens)
-	ba.span = cfg.Span
-	defer ba.release()
-	totalC := float64(cfg.N) * cfg.C
-
-	var w float64
-	for rem := cfg.Warmup; rem > 0; {
-		n := min(rem, chunkFrames)
-		for _, a := range ba.next(n) {
-			w = math.Max(w+a-totalC, 0)
-		}
-		rem -= n
-	}
+	defer eng.release()
 	counts := make([]int, len(thr))
 	res := BOPResult{Thresholds: thr}
-	for rem := cfg.Frames; rem > 0; {
-		n := min(rem, chunkFrames)
-		chunk := ba.next(n)
-		spDrain := cfg.Span.Child("mux drain", trace.Int("frames", n))
-		stopDrain := metDrainTime.Start()
-		for _, a := range chunk {
-			w = math.Max(w+a-totalC, 0)
-			if w > res.MaxW {
-				res.MaxW = w
-			}
-			// Thresholds are sorted; count every one below w.
-			for j := len(thr) - 1; j >= 0; j-- {
-				if w > thr[j] {
-					for k := 0; k <= j; k++ {
-						counts[k]++
-					}
-					break
-				}
-			}
+
+	if eng.closedLoop() || cfg.ForceStep {
+		for i := 0; i < cfg.Warmup; i++ {
+			eng.Step()
 		}
-		stopDrain()
-		spDrain.End()
-		metOccupancy.Observe(w)
-		rem -= n
+		for rem := cfg.Frames; rem > 0; {
+			n := min(rem, chunkFrames)
+			sp := cfg.Span.Child("mux step", trace.Int("frames", n))
+			stopDrain := metDrainTime.Start()
+			for i := 0; i < n; i++ {
+				st := eng.Step()
+				if st.W > res.MaxW {
+					res.MaxW = st.W
+				}
+				countThresholds(st.W, thr, counts)
+			}
+			stopDrain()
+			sp.End()
+			metOccupancy.Observe(eng.W())
+			rem -= n
+		}
+	} else {
+		totalC := float64(cfg.N) * cfg.C
+		inf := math.Inf(1)
+		var w float64
+		for rem := cfg.Warmup; rem > 0; {
+			n := min(rem, chunkFrames)
+			for _, a := range eng.nextChunk(n) {
+				_, w = lindleyStep(w, a, totalC, inf)
+			}
+			rem -= n
+		}
+		for rem := cfg.Frames; rem > 0; {
+			n := min(rem, chunkFrames)
+			chunk := eng.nextChunk(n)
+			spDrain := cfg.Span.Child("mux drain", trace.Int("frames", n))
+			stopDrain := metDrainTime.Start()
+			for _, a := range chunk {
+				_, w = lindleyStep(w, a, totalC, inf)
+				if w > res.MaxW {
+					res.MaxW = w
+				}
+				countThresholds(w, thr, counts)
+			}
+			stopDrain()
+			spDrain.End()
+			metOccupancy.Observe(w)
+			rem -= n
+		}
 	}
 	metRuns.Inc()
 	res.Prob = make([]float64, len(thr))
@@ -319,7 +402,8 @@ func RunBOP(cfg BOPConfig) (BOPResult, error) {
 // every `every`-th frame-boundary workload (total cells), for studying the
 // shape of the stationary queue distribution — e.g. distinguishing the
 // Weibull body of LRD input from the exponential body of Markov input on
-// a log-survival plot.
+// a log-survival plot. The sampling stride must be ≥ 1; every < 1 is an
+// error, never a silent full-rate or empty sample.
 func SampleWorkload(cfg BOPConfig, every int) ([]float64, error) {
 	if every < 1 {
 		return nil, fmt.Errorf("mux: sampling stride %d must be ≥ 1", every)
@@ -330,27 +414,41 @@ func SampleWorkload(cfg BOPConfig, every int) ([]float64, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	gens, err := sourceGenerators(cfg.Model, cfg.N, cfg.Seed)
+	eng, err := newBOPEngine(cfg, cfg.Span)
 	if err != nil {
 		return nil, err
 	}
-	ba := newBlockAggregator(gens)
-	defer ba.release()
+	defer eng.release()
+	out := make([]float64, 0, cfg.Frames/every+1)
+
+	if eng.closedLoop() || cfg.ForceStep {
+		for i := 0; i < cfg.Warmup; i++ {
+			eng.Step()
+		}
+		for frame := 0; frame < cfg.Frames; frame++ {
+			st := eng.Step()
+			if frame%every == 0 {
+				out = append(out, st.W)
+			}
+		}
+		return out, nil
+	}
+
 	totalC := float64(cfg.N) * cfg.C
+	inf := math.Inf(1)
 	var w float64
 	for rem := cfg.Warmup; rem > 0; {
 		n := min(rem, chunkFrames)
-		for _, a := range ba.next(n) {
-			w = math.Max(w+a-totalC, 0)
+		for _, a := range eng.nextChunk(n) {
+			_, w = lindleyStep(w, a, totalC, inf)
 		}
 		rem -= n
 	}
-	out := make([]float64, 0, cfg.Frames/every+1)
 	frame := 0
 	for rem := cfg.Frames; rem > 0; {
 		n := min(rem, chunkFrames)
-		for _, a := range ba.next(n) {
-			w = math.Max(w+a-totalC, 0)
+		for _, a := range eng.nextChunk(n) {
+			_, w = lindleyStep(w, a, totalC, inf)
 			if frame%every == 0 {
 				out = append(out, w)
 			}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/runner"
 	"repro/internal/trace"
+	"repro/internal/traffic"
 )
 
 // RunSweep measures the finite-buffer CLR at several buffer sizes in a
@@ -37,6 +38,17 @@ func RunSweep(cfg Config, buffersCells []float64) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A coupled sweep shares one arrival sample path across every buffer
+	// size — structurally impossible for closed-loop sources, whose
+	// arrivals depend on the buffer through the feedback tap.
+	for i, g := range gens {
+		if traffic.IsClosedLoop(g) {
+			return nil, fmt.Errorf("mux: model %q source %d is closed-loop; "+
+				"feedback couples arrivals to the buffer size, so buffers cannot "+
+				"share a sweep — run per-buffer replications (RunReplicationsEngine) instead",
+				cfg.Model.Name(), i)
+		}
+	}
 	ba := newBlockAggregator(gens)
 	ba.span = cfg.Span
 	defer ba.release()
@@ -51,7 +63,7 @@ func RunSweep(cfg Config, buffersCells []float64) ([]Result, error) {
 		n := min(rem, chunkFrames)
 		for _, a := range ba.next(n) {
 			for j := range w {
-				w[j] = clip(w[j]+a-totalC, totalB[j])
+				_, w[j] = lindleyStep(w[j], a, totalC, totalB[j])
 			}
 		}
 		rem -= n
@@ -70,12 +82,12 @@ func RunSweep(cfg Config, buffersCells []float64) ([]Result, error) {
 			for j := range w {
 				res := &results[j]
 				res.ArrivedCells += a
-				net := w[j] + a - totalC
-				if loss := net - totalB[j]; loss > 0 {
+				loss, next := lindleyStep(w[j], a, totalC, totalB[j])
+				if loss > 0 {
 					res.LostCells += loss
 					res.LossFrames++
 				}
-				w[j] = clip(net, totalB[j])
+				w[j] = next
 				sumW[j] += w[j]
 				if w[j] > res.MaxWorkload {
 					res.MaxWorkload = w[j]

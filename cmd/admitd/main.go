@@ -6,15 +6,21 @@
 // Usage:
 //
 //	admitd [-listen :8080] [-links core:365566:20:1e-6,edge:96000:10:1e-5]
-//	       [-estimator br|largen] [-journal] [-cache 8192] [-v|-quiet]
+//	       [-estimator br|largen] [-journal] [-cache 8192]
+//	       [-flight FILE] [-flight-interval DUR] [-slo RULES] [-v|-quiet]
 //
 // Endpoints: POST /v1/admit, POST /v1/release, GET /v1/links,
-// GET|POST /v1/quote, plus /metrics, /vars and /debug/pprof/.
+// GET|POST /v1/quote, GET /healthz, plus /metrics, /vars, /debug/pprof/
+// and — with -flight — /vars/history, the flight recorder's ring of
+// recent metric snapshots.
 //
 // On SIGINT/SIGTERM the daemon drains in-flight requests (5 s bound),
 // then runs a goroutine-leak check and exits non-zero if any worker
 // survived the drain — the same gate the test suite applies, so a leaky
-// build cannot pass a smoke run.
+// build cannot pass a smoke run. With -slo RULES the snapshots are also
+// evaluated online against SLO rules (p99 latency bounds, loss bands,
+// stall detection; see internal/telemetry/slo) and a breached rule joins
+// that same non-zero exit gate.
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"repro/internal/cac"
 	"repro/internal/leakcheck"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/obs"
 )
 
 var logx = telemetry.Log
@@ -44,6 +51,7 @@ func main() {
 		verbose   = flag.Bool("v", false, "debug logging")
 		quiet     = flag.Bool("quiet", false, "errors only")
 	)
+	obsFlags := obs.AddFlags()
 	flag.Parse()
 	logx.SetPrefix("admitd")
 	switch {
@@ -61,11 +69,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	sess, err := obsFlags.Start(telemetry.Default, "admitd")
+	if err != nil {
+		fatal(err)
+	}
 	srv := admitd.NewServer(admitd.Config{
 		Estimator: est,
 		Registry:  telemetry.Default,
 		Journal:   *journal,
 		CacheSize: *cacheSize,
+		History:   sess.History(),
 	})
 	for _, lc := range lcs {
 		if err := srv.AddLink(lc); err != nil {
@@ -91,9 +104,18 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil {
 		fatal(err)
 	}
+	// Stop the recorder before the leak check — its sampling goroutine is
+	// part of the daemon and must drain with it, not trip the gate.
+	obsOK := sess.Finish()
 	if leaked := leakcheck.WaitClean(3 * time.Second); len(leaked) > 0 {
 		logx.Errorf("%d goroutine(s) survived the drain:\n%s",
 			len(leaked), strings.Join(leaked, "\n\n"))
+		os.Exit(1)
+	}
+	// The SLO verdict folds into the same exit gate as the drain and leak
+	// checks: a daemon that breached its latency or loss rules mid-soak
+	// must not exit green.
+	if !obsOK {
 		os.Exit(1)
 	}
 	logx.Infof("drained clean")

@@ -22,10 +22,16 @@
 //	          [-classes 'z:0.975*3,dar:0.975:1*2,l*1'] [-workers 8]
 //	          [-decisions 100000] [-maxactive 64] [-bias 0.55]
 //	          [-duration 0] [-seed 1996] [-estimator br] [-quiet]
+//	          [-flight FILE] [-flight-interval DUR] [-slo RULES]
+//
+// With -flight FILE the generator's client-side metrics (achieved QPS,
+// observed latency quantiles, error counts) are snapshotted periodically
+// into a JSONL flight log for obsreport; -slo RULES evaluates SLO rules
+// against those snapshots online.
 //
 // The exit status is non-zero if any request failed (non-2xx / transport
-// error) or, in -inproc mode, if the journal replay finds an infeasible
-// admitted state.
+// error), if an SLO rule breached, or, in -inproc mode, if the journal
+// replay finds an infeasible admitted state.
 package main
 
 import (
@@ -41,6 +47,7 @@ import (
 	"repro/internal/admitd/loadgen"
 	"repro/internal/cac"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/obs"
 )
 
 var logx = telemetry.Log
@@ -62,6 +69,7 @@ func main() {
 		qosCLR    = flag.Float64("qos-clr", 0, "per-request CLR override (0 = link default)")
 		quiet     = flag.Bool("quiet", false, "errors and the report only")
 	)
+	obsFlags := obs.AddFlags()
 	flag.Parse()
 	logx.SetPrefix("admitload")
 	if *quiet {
@@ -110,7 +118,14 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *duration)
 		defer cancel()
 	}
+	// The load generator records into its own registry (client-side view),
+	// so a flight log from admitload captures the driver's latency and
+	// churn metrics, distinct from the daemon's server-side log.
 	reg := telemetry.NewRegistry()
+	sess, err := obsFlags.Start(reg, "admitload")
+	if err != nil {
+		fatal(err)
+	}
 	rep, err := loadgen.Run(ctx, loadgen.Config{
 		Links:              linkNames,
 		Classes:            classList,
@@ -158,6 +173,9 @@ func main() {
 			fmt.Printf("link %-8s replay: %d events, %d distinct admitted states all feasible, final active %d\n",
 				name, replay.Events, replay.States, replay.FinalActive)
 		}
+	}
+	if !sess.Finish() && exit == 0 {
+		exit = 3
 	}
 	os.Exit(exit)
 }

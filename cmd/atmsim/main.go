@@ -6,7 +6,7 @@
 //
 //	atmsim [-models z:0.975] [-c 538] [-n 30] [-buffers 0,2,5,10,20]
 //	       [-frames 100000] [-reps 8] [-seed 1] [-workers 0] [-bop]
-//	       [-adaptive] [-telemetry ADDR]
+//	       [-adaptive] [-telemetry ADDR] [-flight FILE] [-slo RULES]
 //
 // With -adaptive (or an aimd:<spec> model spec) sources are closed-loop:
 // an AIMD controller scales each source's frame sizes against the queue
@@ -21,8 +21,12 @@
 // an HTTP endpoint serves live metrics (/metrics, /vars) and /debug/pprof
 // profiles for the duration of the run. With -trace FILE the run records a
 // span tree (model → replication → mux chunk) and writes Chrome
-// trace-event JSON loadable in Perfetto; -v/-quiet adjust log verbosity.
-// None of these sinks perturbs results.
+// trace-event JSON loadable in Perfetto. With -flight FILE periodic
+// metric snapshots are recorded to a JSONL flight log (served live at
+// /vars/history on the -telemetry endpoint, replayed by obsreport), and
+// -slo RULES evaluates SLO rules online against each snapshot, exiting
+// non-zero on any breach. -v/-quiet adjust log verbosity. None of these
+// sinks perturbs results.
 package main
 
 import (
@@ -41,6 +45,7 @@ import (
 	"repro/internal/mux"
 	"repro/internal/runner"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/obs"
 	"repro/internal/trace"
 	"repro/internal/traffic"
 )
@@ -64,6 +69,7 @@ func main() {
 		verbose  = flag.Bool("v", false, "verbose logging (debug level)")
 		quiet    = flag.Bool("quiet", false, "log errors only (overrides -v)")
 	)
+	obsFlags := obs.AddFlags()
 	flag.Parse()
 	logx.SetPrefix("atmsim")
 	logx.SetLevel(telemetry.LevelFromFlags(*verbose, *quiet))
@@ -76,8 +82,12 @@ func main() {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 	eng := runner.NewWithRegistry(*workers, telemetry.Default)
+	sess, err := obsFlags.Start(telemetry.Default, "atmsim")
+	if err != nil {
+		fatal(err)
+	}
 	if *telem != "" {
-		srv, addr, err := telemetry.Serve(*telem, telemetry.Default)
+		srv, addr, err := telemetry.Serve(*telem, telemetry.Default, sess.Routes()...)
 		if err != nil {
 			fatal(err)
 		}
@@ -176,6 +186,9 @@ func main() {
 			fatal(err)
 		}
 		logx.Infof("wrote %d spans to %s (load in Perfetto or chrome://tracing)", tracer.Len(), *trc)
+	}
+	if !sess.Finish() {
+		os.Exit(3)
 	}
 }
 

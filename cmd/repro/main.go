@@ -8,7 +8,7 @@
 //
 //	repro [-exp all|table1,fig1,...,fig10] [-reps N] [-frames N]
 //	      [-seed N] [-out DIR] [-csv] [-workers N] [-checkpoint FILE]
-//	      [-telemetry ADDR]
+//	      [-telemetry ADDR] [-flight FILE] [-flight-interval DUR] [-slo RULES]
 //
 // Simulation replications fan out over -workers cores (default: all);
 // results are bit-identical for every worker count. With -checkpoint,
@@ -24,9 +24,15 @@
 // /vars JSON) and /debug/pprof profiles while the run progresses. With
 // -trace FILE the run records a span tree (figure → sweep → replication →
 // mux chunk) and writes it as Chrome trace-event JSON, loadable in
-// Perfetto or chrome://tracing. -v/-quiet raise/lower log verbosity. None
-// of these sinks perturbs results: fixed-seed outputs are bit-identical
-// with every combination on or off.
+// Perfetto or chrome://tracing. With -flight FILE the flight recorder
+// snapshots all metrics every -flight-interval (default 1s) into a
+// delta-encoded JSONL time-series log — replay it with obsreport — and
+// serves the recent history at /vars/history on the -telemetry endpoint.
+// With -slo RULES (see internal/telemetry/slo for the grammar) each
+// snapshot is evaluated online and any breached rule fails the run with
+// exit status 3. -v/-quiet raise/lower log verbosity. None of these
+// sinks perturbs results: fixed-seed outputs are bit-identical with
+// every combination on or off.
 package main
 
 import (
@@ -45,6 +51,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/runner"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/obs"
 	"repro/internal/trace"
 )
 
@@ -66,6 +73,7 @@ func main() {
 		verbose = flag.Bool("v", false, "verbose logging (debug level)")
 		quiet   = flag.Bool("quiet", false, "log errors only (overrides -v)")
 	)
+	obsFlags := obs.AddFlags()
 	flag.Parse()
 	logx.SetPrefix("repro")
 	logx.SetLevel(telemetry.LevelFromFlags(*verbose, *quiet))
@@ -103,8 +111,16 @@ func main() {
 	stopLog := eng.LogProgress(5*time.Second, logx.Writer(telemetry.LevelInfo))
 	defer stopLog()
 
+	// The flight recorder and online SLO evaluation only read the registry,
+	// so results stay bit-identical with them on or off (CI diffs the smoke
+	// manifests at rtol 0 to prove it).
+	sess, err := obsFlags.Start(telemetry.Default, "repro")
+	if err != nil {
+		fatal(err)
+	}
+
 	if *telem != "" {
-		srv, addr, err := telemetry.Serve(*telem, telemetry.Default)
+		srv, addr, err := telemetry.Serve(*telem, telemetry.Default, sess.Routes()...)
 		if err != nil {
 			fatal(err)
 		}
@@ -274,6 +290,11 @@ func main() {
 			fatal(err)
 		}
 		logx.Infof("wrote %d spans to %s (load in Perfetto or chrome://tracing)", tracer.Len(), *trc)
+	}
+	// The SLO verdict is the exit gate: a breached rule (or a torn flight
+	// log) fails the run even though every figure rendered.
+	if !sess.Finish() {
+		os.Exit(3)
 	}
 }
 

@@ -58,6 +58,10 @@ type Config struct {
 	Journal bool
 	// CacheSize overrides DefaultCacheSize when positive.
 	CacheSize int
+	// History, when non-nil, is mounted at /vars/history on the HTTP API —
+	// the flight recorder's ring-buffer handler, wired by cmd/admitd when
+	// -flight is on.
+	History http.Handler
 }
 
 // Server is the admission-control service state: a set of links, a class

@@ -22,8 +22,10 @@ import (
 //	GET  /v1/links     per-link status (mix, utilization, signature)
 //	POST /v1/quote     effective-bandwidth quote (QuoteRequest → QuoteResponse)
 //	GET  /v1/quote     same, via query parameters (link, class, n, delay_ms, clr)
+//	GET  /healthz      liveness probe ({"status":"ok"}; smoke jobs poll this)
 //	GET  /metrics      Prometheus text exposition of the server registry
 //	GET  /vars         JSON metric snapshots + runtime stats
+//	GET  /vars/history flight-recorder ring buffer (when Config.History is set)
 //	GET  /debug/pprof/ live profiles
 //
 // Every /v1 endpoint is wrapped with a latency timer and a request counter
@@ -36,18 +38,32 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/links", s.wrap("links", s.handleLinks))
 	mux.HandleFunc("POST /v1/quote", s.wrap("quote", s.handleQuote))
 	mux.HandleFunc("GET /v1/quote", s.wrap("quote", s.handleQuoteGet))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	tele := telemetry.Handler(s.reg)
 	mux.Handle("/metrics", tele)
 	mux.Handle("/vars", tele)
 	mux.Handle("/debug/pprof/", tele)
+	if s.cfg.History != nil {
+		mux.Handle("GET /vars/history", s.cfg.History)
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			jsonError(w, http.StatusNotFound, fmt.Errorf("no such endpoint %q", r.URL.Path))
 			return
 		}
-		fmt.Fprint(w, "admitd endpoints:\n  POST /v1/admit\n  POST /v1/release\n  GET /v1/links\n  GET|POST /v1/quote\n  /metrics /vars /debug/pprof/\n")
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "admitd endpoints:\n  POST /v1/admit\n  POST /v1/release\n  GET /v1/links\n  GET|POST /v1/quote\n  GET /healthz\n  /metrics /vars /vars/history /debug/pprof/\n")
 	})
 	return mux
+}
+
+// handleHealthz is the liveness probe: a cheap 200 that proves the HTTP
+// stack is serving, with the link count so probes can assert readiness.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	links := len(s.links)
+	s.mu.RUnlock()
+	writeJSON(w, map[string]any{"status": "ok", "links": links})
 }
 
 // statusWriter captures the response code for the request counter.

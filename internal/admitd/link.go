@@ -45,6 +45,7 @@ type linkState struct {
 	cacheHit, cacheMiss                 *telemetry.Counter
 	decTimer                            *telemetry.Timer
 	activeGauge, meanGauge              *telemetry.Gauge
+	journalGauge                        *telemetry.Gauge
 }
 
 // Event is one journal entry: an admit or release attempt and whether it
@@ -64,21 +65,22 @@ func newLinkState(lc LinkConfig, link cac.Link, cfg Config, reg *telemetry.Regis
 		return reg.Counter(name, l, telemetry.L("outcome", o))
 	}
 	return &linkState{
-		cfg:         lc,
-		link:        link,
-		est:         cfg.Estimator,
-		cache:       newDecisionCache(cfg.CacheSize),
-		journalOn:   cfg.Journal,
-		decAdmitted: outcome("admitd_decisions_total", "admitted"),
-		decRejected: outcome("admitd_decisions_total", "rejected"),
-		decErrors:   outcome("admitd_decisions_total", "error"),
-		relOK:       outcome("admitd_releases_total", "released"),
-		relErrors:   outcome("admitd_releases_total", "error"),
-		cacheHit:    reg.Counter("admitd_cache_total", l, telemetry.L("result", "hit")),
-		cacheMiss:   reg.Counter("admitd_cache_total", l, telemetry.L("result", "miss")),
-		decTimer:    reg.Timer("admitd_decision_seconds", l),
-		activeGauge: reg.Gauge("admitd_active_sources", l),
-		meanGauge:   reg.Gauge("admitd_mean_load_cells", l),
+		cfg:          lc,
+		link:         link,
+		est:          cfg.Estimator,
+		cache:        newDecisionCache(cfg.CacheSize),
+		journalOn:    cfg.Journal,
+		decAdmitted:  outcome("admitd_decisions_total", "admitted"),
+		decRejected:  outcome("admitd_decisions_total", "rejected"),
+		decErrors:    outcome("admitd_decisions_total", "error"),
+		relOK:        outcome("admitd_releases_total", "released"),
+		relErrors:    outcome("admitd_releases_total", "error"),
+		cacheHit:     reg.Counter("admitd_cache_total", l, telemetry.L("result", "hit")),
+		cacheMiss:    reg.Counter("admitd_cache_total", l, telemetry.L("result", "miss")),
+		decTimer:     reg.Timer("admitd_decision_seconds", l),
+		activeGauge:  reg.Gauge("admitd_active_sources", l),
+		meanGauge:    reg.Gauge("admitd_mean_load_cells", l),
+		journalGauge: reg.Gauge("admitd_journal_depth", l),
 	}
 }
 
@@ -206,6 +208,7 @@ func (s *Server) Admit(req AdmitRequest) (AdmitResponse, error) {
 			st.journal = append(st.journal, Event{
 				Seq: seq, Op: "admit", Class: cls.spec, Count: count, Granted: feasible,
 			})
+			st.journalGauge.Set(float64(len(st.journal)))
 		}
 	}
 	resp := AdmitResponse{
@@ -367,6 +370,7 @@ func (s *Server) Release(req ReleaseRequest) (ReleaseResponse, error) {
 		st.journal = append(st.journal, Event{
 			Seq: seq, Op: "release", Class: spec, Count: count, Granted: true,
 		})
+		st.journalGauge.Set(float64(len(st.journal)))
 	}
 	resp := ReleaseResponse{
 		Link:     req.Link,

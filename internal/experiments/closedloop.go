@@ -68,6 +68,7 @@ func closedLoopSeries(m traffic.Model, c float64, n int, grid []float64, cfg Sim
 			clrs[rep] = r.CLR
 		}
 		v := diag.Assess(clrs, cfg.convRel())
+		publishConvergence(v)
 		s.Verdicts = append(s.Verdicts, v)
 		if !v.Converged {
 			telemetry.Log.Warnf("%s buffer %g msec: %s", m.Name(), msec, v)

@@ -209,6 +209,7 @@ func runStepped(e *Engine, frames, warmup int, span trace.Span) Result {
 		res.CLR = res.LostCells / res.ArrivedCells
 	}
 	metRuns.Inc()
+	metPathStepped.Inc()
 	metCellsArrived.Add(res.ArrivedCells)
 	metCellsLost.Add(res.LostCells)
 	return res

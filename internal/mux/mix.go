@@ -113,6 +113,7 @@ func RunMix(cfg MixConfig) (Result, error) {
 		res.CLR = res.LostCells / res.ArrivedCells
 	}
 	metRuns.Inc()
+	metPathChunked.Inc()
 	metCellsArrived.Add(res.ArrivedCells)
 	metCellsLost.Add(res.LostCells)
 	return res, nil

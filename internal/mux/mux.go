@@ -158,6 +158,7 @@ func Run(cfg Config) (Result, error) {
 		res.CLR = res.LostCells / res.ArrivedCells
 	}
 	metRuns.Inc()
+	metPathChunked.Inc()
 	metCellsArrived.Add(res.ArrivedCells)
 	metCellsLost.Add(res.LostCells)
 	return res, nil
@@ -391,6 +392,7 @@ func RunBOP(cfg BOPConfig) (BOPResult, error) {
 		}
 	}
 	metRuns.Inc()
+	metPathChunked.Inc()
 	res.Prob = make([]float64, len(thr))
 	for i, c := range counts {
 		res.Prob[i] = float64(c) / float64(cfg.Frames)

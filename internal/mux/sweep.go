@@ -110,6 +110,7 @@ func RunSweep(cfg Config, buffersCells []float64) ([]Result, error) {
 		}
 	}
 	metRuns.Inc()
+	metPathChunked.Inc()
 	if len(results) > 0 {
 		// Arrivals are shared across the coupled recursions; count them
 		// once. Losses differ per buffer; count the largest buffer's.

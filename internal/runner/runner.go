@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -310,6 +311,12 @@ func Run[T any](ctx context.Context, e *Engine, spec Spec, fn func(ctx context.C
 			wg.Add(1)
 			go func(lane int) {
 				defer wg.Done()
+				// Per-lane progress surfaces worker balance on the flight
+				// recorder: a lane whose counter stalls while siblings
+				// advance is a starved or wedged worker. The handle is
+				// fetched once per worker, not per replication.
+				laneDone := e.reg.Counter("runner_lane_reps_done_total",
+					telemetry.L("lane", strconv.Itoa(lane)))
 				for i := range idxCh {
 					if ctx.Err() != nil {
 						return
@@ -329,6 +336,7 @@ func Run[T any](ctx context.Context, e *Engine, spec Spec, fn func(ctx context.C
 					}
 					results[i] = res
 					e.repsDone.Add(1)
+					laneDone.Add(1)
 					if e.checkpoint != nil {
 						if err := e.checkpoint.put(repKey(fp, i), res); err != nil {
 							fail(fmt.Errorf("runner: job %q rep %d: checkpoint: %w", spec.ID, i, err))

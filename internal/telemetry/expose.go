@@ -11,6 +11,31 @@ import (
 	"strings"
 )
 
+// Route is an extra endpoint mounted onto a telemetry Handler — e.g. the
+// flight recorder's /vars/history, which lives a package below and cannot
+// be imported from here.
+type Route struct {
+	Pattern string // e.g. "/vars/history"
+	Handler http.Handler
+}
+
+// varsBody is the /vars response. An explicit struct (not a map) pins the
+// field order, so exposition is deterministic byte-for-byte given the same
+// registry state: metrics come from Snapshot (sorted by name then labels)
+// and runtime stats have a fixed field sequence.
+type varsBody struct {
+	Metrics []Snapshot  `json:"metrics"`
+	Runtime runtimeVars `json:"runtime"`
+}
+
+type runtimeVars struct {
+	Goroutines int    `json:"goroutines"`
+	AllocBytes uint64 `json:"alloc_bytes"`
+	SysBytes   uint64 `json:"sys_bytes"`
+	NumGC      uint32 `json:"num_gc"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
 // Handler serves a registry over HTTP:
 //
 //	/              index of endpoints
@@ -18,21 +43,34 @@ import (
 //	/vars          expvar-style JSON: metric snapshots + runtime stats
 //	/debug/pprof/  net/http/pprof profiles (heap, profile, trace, ...)
 //
+// plus any extra routes (the CLIs mount the flight recorder's
+// /vars/history this way). Every endpoint sets an explicit Content-Type
+// and emits metric families in the registry's sorted canonical order.
+//
 // pprof handlers are registered explicitly on a private mux — importing
 // this package does not touch http.DefaultServeMux, and no other package
 // in the module may import net/http/pprof (CI enforces this), so profiling
 // is only ever exposed through an opt-in -telemetry listener.
-func Handler(reg *Registry) http.Handler {
+func Handler(reg *Registry, extra ...Route) http.Handler {
 	mux := http.NewServeMux()
+	index := []string{"/metrics", "/vars", "/debug/pprof/"}
+	for _, rt := range extra {
+		index = append(index, rt.Pattern)
+	}
+	sort.Strings(index)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "telemetry endpoints:\n  /metrics\n  /vars\n  /debug/pprof/\n")
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "telemetry endpoints:\n")
+		for _, p := range index {
+			fmt.Fprintf(w, "  %s\n", p)
+		}
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		writePrometheus(w, reg)
 	})
 	mux.HandleFunc("/vars", func(w http.ResponseWriter, r *http.Request) {
@@ -41,14 +79,14 @@ func Handler(reg *Registry) http.Handler {
 		runtime.ReadMemStats(&ms)
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(map[string]any{
-			"metrics": reg.Snapshot(),
-			"runtime": map[string]any{
-				"goroutines":  runtime.NumGoroutine(),
-				"alloc_bytes": ms.Alloc,
-				"sys_bytes":   ms.Sys,
-				"num_gc":      ms.NumGC,
-				"gomaxprocs":  runtime.GOMAXPROCS(0),
+		enc.Encode(varsBody{
+			Metrics: reg.Snapshot(),
+			Runtime: runtimeVars{
+				Goroutines: runtime.NumGoroutine(),
+				AllocBytes: ms.Alloc,
+				SysBytes:   ms.Sys,
+				NumGC:      ms.NumGC,
+				GOMAXPROCS: runtime.GOMAXPROCS(0),
 			},
 		})
 	})
@@ -57,6 +95,9 @@ func Handler(reg *Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, rt := range extra {
+		mux.Handle(rt.Pattern, rt.Handler)
+	}
 	return mux
 }
 
@@ -135,13 +176,14 @@ func promLabelsWith(labels map[string]string, extraKey, extraVal string) string 
 
 // Serve starts the exposition endpoint on addr (e.g. ":6060" or
 // "127.0.0.1:0") in a background goroutine and returns the server together
-// with the bound address. The caller owns shutdown via srv.Close.
-func Serve(addr string, reg *Registry) (*http.Server, string, error) {
+// with the bound address. Extra routes are mounted as in Handler. The
+// caller owns shutdown via srv.Close.
+func Serve(addr string, reg *Registry, extra ...Route) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: Handler(reg)}
+	srv := &http.Server{Handler: Handler(reg, extra...)}
 	go srv.Serve(ln)
 	return srv, ln.Addr().String(), nil
 }

@@ -1,0 +1,407 @@
+package flight
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// startTest builds a recorder over a fresh registry with a long interval
+// (tests drive snapshots via Stop or takeFrame, not the ticker).
+func startTest(t *testing.T, reg *telemetry.Registry, opts Options) *Recorder {
+	t.Helper()
+	if opts.Interval == 0 {
+		opts.Interval = time.Hour
+	}
+	r, err := Start(reg, opts)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	return r
+}
+
+func TestRecorderFramesAndStop(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("evt_total")
+	r := startTest(t, reg, Options{})
+	c.Add(5)
+	r.Record()
+	c.Add(2)
+	if err := r.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	frames := r.Frames()
+	if len(frames) != 3 { // start frame, manual snap, final Stop frame
+		t.Fatalf("got %d frames, want 3", len(frames))
+	}
+	for i, f := range frames {
+		if f.Seq != int64(i) {
+			t.Errorf("frame %d has seq %d", i, f.Seq)
+		}
+	}
+	if v := counterValue(t, frames[2], "evt_total"); v != 7 {
+		t.Errorf("final evt_total = %g, want 7", v)
+	}
+	// Stop is idempotent.
+	if err := r.Stop(); err != nil {
+		t.Fatalf("second Stop: %v", err)
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	r := startTest(t, reg, Options{Capacity: 4})
+	for i := 0; i < 10; i++ {
+		r.Record()
+	}
+	if err := r.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	frames := r.Frames()
+	if len(frames) != 4 {
+		t.Fatalf("ring holds %d frames, want capacity 4", len(frames))
+	}
+	for i := 1; i < len(frames); i++ {
+		if frames[i].Seq != frames[i-1].Seq+1 {
+			t.Fatalf("ring out of order: seq %d after %d", frames[i].Seq, frames[i-1].Seq)
+		}
+	}
+	// Newest frame must be the final Stop frame (seq 11: 1 start + 10 manual + 1 stop).
+	if got := frames[len(frames)-1].Seq; got != 11 {
+		t.Errorf("newest seq = %d, want 11", got)
+	}
+}
+
+// TestLogRoundTrip drives a run with counters, gauges, and a histogram,
+// then checks ReadLog re-integrates the delta encoding into exactly the
+// frames the ring held.
+func TestLogRoundTrip(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("cells_total", telemetry.L("path", "stepped"))
+	g := reg.Gauge("occupancy")
+	h := reg.Histogram("latency_seconds")
+	path := filepath.Join(t.TempDir(), "flight.jsonl")
+	r := startTest(t, reg, Options{Path: path, Tool: "flight-test"})
+	for i := 1; i <= 5; i++ {
+		c.Add(int64(i))
+		g.Set(float64(i) * 0.5)
+		h.Observe(float64(i))
+		r.Record()
+	}
+	if err := r.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	want := r.Frames()
+
+	lg, err := ReadLog(path)
+	if err != nil {
+		t.Fatalf("ReadLog: %v", err)
+	}
+	if lg.Header.SchemaVersion != LogSchemaVersion {
+		t.Errorf("schema version %d, want %d", lg.Header.SchemaVersion, LogSchemaVersion)
+	}
+	if lg.Header.Tool != "flight-test" {
+		t.Errorf("tool %q", lg.Header.Tool)
+	}
+	if len(lg.Frames) != len(want) {
+		t.Fatalf("decoded %d frames, ring has %d", len(lg.Frames), len(want))
+	}
+	for i := range want {
+		if lg.Frames[i].Seq != want[i].Seq {
+			t.Fatalf("frame %d seq mismatch", i)
+		}
+		got, exp := lg.Frames[i].Metrics, want[i].Metrics
+		if len(got) != len(exp) {
+			t.Fatalf("frame %d: %d metrics decoded, want %d", i, len(got), len(exp))
+		}
+		for j := range exp {
+			if got[j].Name != exp[j].Name || got[j].Value != exp[j].Value ||
+				got[j].Count != exp[j].Count || got[j].Sum != exp[j].Sum ||
+				got[j].P99 != exp[j].P99 {
+				t.Errorf("frame %d metric %s: decoded %+v want %+v",
+					i, exp[j].Name, got[j], exp[j])
+			}
+		}
+	}
+}
+
+// TestLogCreatesParentDir covers the common CLI shape where the flight
+// log shares the run's -out directory, which does not exist yet when the
+// recorder starts (CLIs start the recorder before the first result is
+// written).
+func TestLogCreatesParentDir(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	path := filepath.Join(t.TempDir(), "out", "nested", "flight.jsonl")
+	r := startTest(t, reg, Options{Path: path, Tool: "flight-test"})
+	r.Record()
+	if err := r.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	if _, err := ReadLog(path); err != nil {
+		t.Fatalf("ReadLog: %v", err)
+	}
+}
+
+// TestLogOmitsUnchanged checks steady-state frames carry no user samples —
+// the whole point of the delta encoding. The recorder's own
+// flight_frames_total advances once per frame by construction, so it is
+// the only sample allowed through.
+func TestLogOmitsUnchanged(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("static_total").Add(3)
+	path := filepath.Join(t.TempDir(), "flight.jsonl")
+	r := startTest(t, reg, Options{Path: path})
+	r.Record() // nothing changed since frame 0
+	r.Record()
+	if err := r.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	// header + 4 frames (start, 2 manual, stop)
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5", len(lines))
+	}
+	for i, line := range lines[2:] { // frames after the baseline
+		var ll struct {
+			Frame struct {
+				Samples []Sample `json:"samples"`
+			} `json:"frame"`
+		}
+		if err := json.Unmarshal([]byte(line), &ll); err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range ll.Frame.Samples {
+			if s.Name != "flight_frames_total" {
+				t.Errorf("steady-state frame line %d carries sample %q, want only recorder self-metrics", i, s.Name)
+			}
+		}
+	}
+}
+
+// TestLogTruncated checks a log cut mid-run (interrupt, crash) still
+// decodes: every complete line contributes.
+func TestLogTruncated(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("evt_total")
+	path := filepath.Join(t.TempDir(), "flight.jsonl")
+	r := startTest(t, reg, Options{Path: path})
+	c.Add(1)
+	r.Record()
+	c.Add(1)
+	r.Record()
+	if err := r.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(raw), "\n")
+	// Keep the header and first two frames, drop the rest plus simulate a
+	// torn partial line at the cut point (process killed mid-write): the
+	// torn tail is a valid truncation point, not an error.
+	trunc := strings.Join(lines[:3], "") + `{"type":"frame","frame":{"se`
+	if err := os.WriteFile(path, []byte(trunc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lg, err := ReadLog(path)
+	if err != nil {
+		t.Fatalf("ReadLog with torn tail: %v", err)
+	}
+	if len(lg.Frames) != 2 {
+		t.Fatalf("decoded %d frames from torn log, want 2", len(lg.Frames))
+	}
+	// Garbage mid-file (more lines after the bad one) IS corruption.
+	bad := strings.Join(lines[:2], "") + "{torn}\n" + lines[2]
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadLog(path); err == nil {
+		t.Fatal("want error for mid-file corruption")
+	}
+	// A cleanly-flushed prefix (no torn line) must decode.
+	if err := os.WriteFile(path, []byte(strings.Join(lines[:3], "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lg, err = ReadLog(path)
+	if err != nil {
+		t.Fatalf("ReadLog truncated: %v", err)
+	}
+	if len(lg.Frames) != 2 {
+		t.Fatalf("decoded %d frames from truncated log, want 2", len(lg.Frames))
+	}
+	if v := counterValue(t, lg.Frames[1], "evt_total"); v != 1 {
+		t.Errorf("evt_total after truncation = %g, want 1", v)
+	}
+}
+
+func TestReadLogRejectsMissingHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(path, []byte(`{"type":"frame","frame":{"seq":0}}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadLog(path); err == nil {
+		t.Fatal("want error for headerless log")
+	}
+}
+
+func TestOnFrameHook(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	var mu sync.Mutex
+	var calls int
+	var sawPrev bool
+	r := startTest(t, reg, Options{OnFrame: func(cur Frame, prev *Frame) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		if prev != nil {
+			sawPrev = true
+			if cur.Seq != prev.Seq+1 {
+				t.Errorf("hook: cur seq %d after prev %d", cur.Seq, prev.Seq)
+			}
+		}
+	}})
+	r.Record()
+	if err := r.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 3 || !sawPrev {
+		t.Fatalf("hook calls=%d sawPrev=%v, want 3/true", calls, sawPrev)
+	}
+}
+
+// TestScrapeWhileWrite hammers /vars/history (and the recorder itself at a
+// fast cadence) while writers mutate the registry, under -race in CI.
+// Within every flight frame sequence, monotone counters must never
+// decrease — the no-torn-snapshot assertion.
+func TestScrapeWhileWrite(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	path := filepath.Join(t.TempDir(), "flight.jsonl")
+	r, err := Start(reg, Options{Interval: minInterval, Path: path, Capacity: 64})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	srv := httptest.NewServer(r.HistoryHandler())
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := reg.Counter("hammer_total", telemetry.L("w", string(rune('a'+w))))
+			h := reg.Histogram("hammer_seconds")
+			g := reg.Gauge("hammer_gauge")
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				h.Observe(float64(i % 100))
+				g.Set(float64(i))
+			}
+		}(w)
+	}
+	deadline := time.After(200 * time.Millisecond)
+	client := srv.Client()
+scrape:
+	for {
+		select {
+		case <-deadline:
+			break scrape
+		default:
+		}
+		resp, err := client.Get(srv.URL)
+		if err != nil {
+			t.Fatalf("scrape: %v", err)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("Content-Type %q", ct)
+		}
+		var body struct {
+			Frames []Frame `json:"frames"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("decode history: %v", err)
+		}
+		resp.Body.Close()
+		assertMonotone(t, body.Frames)
+	}
+	close(stop)
+	wg.Wait()
+	if err := r.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	assertMonotone(t, r.Frames())
+
+	// The on-disk log must re-integrate into the same monotone series.
+	lg, err := ReadLog(path)
+	if err != nil {
+		t.Fatalf("ReadLog: %v", err)
+	}
+	assertMonotone(t, lg.Frames)
+	if len(lg.Frames) < 2 {
+		t.Fatalf("log captured %d frames, want several", len(lg.Frames))
+	}
+}
+
+// assertMonotone fails if any counter or histogram count decreases across
+// consecutive frames.
+func assertMonotone(t *testing.T, frames []Frame) {
+	t.Helper()
+	type state struct {
+		value float64
+		count int64
+	}
+	prev := make(map[string]state)
+	for fi, f := range frames {
+		for _, m := range f.Metrics {
+			key := m.Name + "|" + labelKey(m.Labels)
+			p, ok := prev[key]
+			if ok {
+				switch m.Kind {
+				case telemetry.KindCounter, telemetry.KindFloatCounter:
+					if m.Value < p.value {
+						t.Fatalf("frame %d: counter %s decreased %g -> %g", fi, key, p.value, m.Value)
+					}
+				case telemetry.KindHistogram, telemetry.KindTimer:
+					if m.Count < p.count {
+						t.Fatalf("frame %d: histogram %s count decreased %d -> %d", fi, key, p.count, m.Count)
+					}
+				}
+			}
+			prev[key] = state{value: m.Value, count: m.Count}
+		}
+	}
+}
+
+func labelKey(labels map[string]string) string {
+	return sampleKey("", labels)
+}
+
+func counterValue(t *testing.T, f Frame, name string) float64 {
+	t.Helper()
+	for _, m := range f.Metrics {
+		if m.Name == name {
+			return m.Value
+		}
+	}
+	t.Fatalf("metric %s not in frame", name)
+	return 0
+}

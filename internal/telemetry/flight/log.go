@@ -1,0 +1,295 @@
+// Delta-encoded JSONL flight log: one self-describing JSON object per
+// line, flushed per line (like run manifests) so an interrupted run
+// leaves a valid truncated log.
+//
+//	{"type":"header", ...}   schema version, tool, start time, cadence
+//	{"type":"frame", ...}    one snapshot: seq, elapsed, changed samples
+//
+// Counters, float counters, histogram counts and sums are written as
+// deltas against the previous frame, and samples that did not change are
+// omitted entirely — a steady-state soak logs near-empty frames instead
+// of re-serialising the whole registry every second. ReadLog reverses the
+// encoding, returning absolute frames identical to what the in-memory
+// ring held.
+package flight
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/telemetry"
+)
+
+// LogSchemaVersion identifies the flight-log line shape. Bump on
+// incompatible change; readers reject newer majors.
+const LogSchemaVersion = 1
+
+// LogHeader identifies a flight log.
+type LogHeader struct {
+	SchemaVersion   int     `json:"schema_version"`
+	Tool            string  `json:"tool,omitempty"`
+	Start           string  `json:"start"` // RFC3339Nano
+	IntervalSeconds float64 `json:"interval_seconds"`
+	GoVersion       string  `json:"go_version"`
+	GitRevision     string  `json:"git_revision"`
+}
+
+// Sample is one metric's contribution to a frame line. Value carries the
+// absolute value for gauges and the delta since the previous frame for
+// counters and float counters; Count/NonFinite/Sum are deltas for
+// histograms and timers, whose Min/Max/P50/P95/P99 stay absolute (they
+// are cumulative-distribution properties, not flows).
+type Sample struct {
+	Name      string            `json:"name"`
+	Labels    map[string]string `json:"labels,omitempty"`
+	Kind      telemetry.Kind    `json:"kind"`
+	Value     float64           `json:"value,omitempty"`
+	Count     int64             `json:"count,omitempty"`
+	NonFinite int64             `json:"non_finite,omitempty"`
+	Sum       float64           `json:"sum,omitempty"`
+	Min       float64           `json:"min,omitempty"`
+	Max       float64           `json:"max,omitempty"`
+	P50       float64           `json:"p50,omitempty"`
+	P95       float64           `json:"p95,omitempty"`
+	P99       float64           `json:"p99,omitempty"`
+}
+
+// logFrame is the on-disk form of one frame.
+type logFrame struct {
+	Seq            int64    `json:"seq"`
+	ElapsedSeconds float64  `json:"elapsed_seconds"`
+	Samples        []Sample `json:"samples,omitempty"`
+}
+
+type logLine struct {
+	Type   string     `json:"type"`
+	Header *LogHeader `json:"header,omitempty"`
+	Frame  *logFrame  `json:"frame,omitempty"`
+}
+
+// logWriter appends log lines, flushing after each so the file is valid
+// JSONL at every interruption point.
+type logWriter struct {
+	f  *os.File
+	bw *bufio.Writer
+}
+
+func createLog(path string, h LogHeader) (*logWriter, error) {
+	h.SchemaVersion = LogSchemaVersion
+	if h.GoVersion == "" {
+		h.GoVersion = runtime.Version()
+	}
+	if h.GitRevision == "" {
+		h.GitRevision = telemetry.GitRevision()
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("flight: create log dir: %w", err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("flight: create log: %w", err)
+	}
+	w := &logWriter{f: f, bw: bufio.NewWriter(f)}
+	if err := w.write(logLine{Type: "header", Header: &h}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *logWriter) write(line logLine) error {
+	b, err := json.Marshal(line)
+	if err != nil {
+		return fmt.Errorf("flight: encode log line: %w", err)
+	}
+	if _, err := w.bw.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("flight: write log: %w", err)
+	}
+	return w.bw.Flush()
+}
+
+// frame writes cur delta-encoded against prev (nil prev = first frame,
+// every sample absolute).
+func (w *logWriter) frame(cur Frame, prev *Frame) error {
+	lf := logFrame{Seq: cur.Seq, ElapsedSeconds: cur.ElapsedSeconds}
+	var old map[string]telemetry.Snapshot
+	if prev != nil {
+		old = make(map[string]telemetry.Snapshot, len(prev.Metrics))
+		for _, s := range prev.Metrics {
+			old[sampleKey(s.Name, s.Labels)] = s
+		}
+	}
+	for _, s := range cur.Metrics {
+		if d, changed := encodeSample(s, old); changed {
+			lf.Samples = append(lf.Samples, d)
+		}
+	}
+	return w.write(logLine{Type: "frame", Frame: &lf})
+}
+
+func (w *logWriter) close() error {
+	err := w.bw.Flush()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// encodeSample deltas s against its previous state (absent = zero
+// baseline) and reports whether anything changed.
+func encodeSample(s telemetry.Snapshot, old map[string]telemetry.Snapshot) (Sample, bool) {
+	p, seen := old[sampleKey(s.Name, s.Labels)]
+	d := Sample{Name: s.Name, Labels: s.Labels, Kind: s.Kind}
+	switch s.Kind {
+	case telemetry.KindCounter, telemetry.KindFloatCounter:
+		d.Value = s.Value - p.Value
+		return d, !seen || d.Value != 0 //lint:floateq change detection must be exact: any nonzero delta, however small, is real movement
+	case telemetry.KindGauge:
+		d.Value = s.Value
+		return d, !seen || s.Value != p.Value //lint:floateq change detection must be exact; identical bits round-trip losslessly through JSON
+	default: // histogram, timer
+		d.Count = s.Count - p.Count
+		d.NonFinite = s.NonFinite - p.NonFinite
+		d.Sum = s.Sum - p.Sum
+		d.Min, d.Max = s.Min, s.Max
+		d.P50, d.P95, d.P99 = s.P50, s.P95, s.P99
+		return d, !seen || d.Count != 0 || d.NonFinite != 0
+	}
+}
+
+// sampleKey builds the (name, labels) identity of a metric, mirroring the
+// registry's canonical ordering.
+func sampleKey(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	for _, k := range keys {
+		b.WriteByte(0xff)
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+	}
+	return b.String()
+}
+
+// Log is the decoded, re-integrated form of a flight log: absolute frames
+// identical (up to float round-trip) to what the recorder's ring held.
+type Log struct {
+	Header LogHeader
+	Frames []Frame
+}
+
+// ReadLog decodes a flight log and reverses the delta encoding. A log
+// truncated mid-run is not an error — every complete line contributes and
+// a torn final line (the process died mid-write) is a valid truncation
+// point; a missing or incompatible header, or garbage mid-file, is.
+func ReadLog(path string) (*Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("flight: open log: %w", err)
+	}
+	defer f.Close()
+	var lg Log
+	state := make(map[string]telemetry.Snapshot)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	lineno := 0
+	sawHeader := false
+	for sc.Scan() {
+		lineno++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var line logLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			// A torn final line (process killed mid-write) is a valid
+			// truncation point; garbage followed by more lines is corruption.
+			for sc.Scan() {
+				if len(sc.Bytes()) != 0 {
+					return nil, fmt.Errorf("flight: log %s line %d: %w", path, lineno, err)
+				}
+			}
+			break
+		}
+		switch line.Type {
+		case "header":
+			if line.Header == nil {
+				return nil, fmt.Errorf("flight: log %s line %d: empty header", path, lineno)
+			}
+			if line.Header.SchemaVersion > LogSchemaVersion {
+				return nil, fmt.Errorf("flight: log %s: schema version %d newer than supported %d",
+					path, line.Header.SchemaVersion, LogSchemaVersion)
+			}
+			lg.Header = *line.Header
+			sawHeader = true
+		case "frame":
+			if line.Frame == nil {
+				continue
+			}
+			for _, d := range line.Frame.Samples {
+				k := sampleKey(d.Name, d.Labels)
+				s, ok := state[k]
+				if !ok {
+					s = telemetry.Snapshot{Name: d.Name, Labels: d.Labels, Kind: d.Kind}
+				}
+				switch d.Kind {
+				case telemetry.KindCounter, telemetry.KindFloatCounter:
+					s.Value += d.Value
+				case telemetry.KindGauge:
+					s.Value = d.Value
+				default:
+					s.Count += d.Count
+					s.NonFinite += d.NonFinite
+					s.Sum += d.Sum
+					s.Min, s.Max = d.Min, d.Max
+					s.P50, s.P95, s.P99 = d.P50, d.P95, d.P99
+				}
+				state[k] = s
+			}
+			lg.Frames = append(lg.Frames, Frame{
+				Seq:            line.Frame.Seq,
+				ElapsedSeconds: line.Frame.ElapsedSeconds,
+				Metrics:        materialize(state),
+			})
+		default:
+			// Unknown line types from future minor revisions are skipped.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("flight: read log %s: %w", path, err)
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("flight: log %s has no header line", path)
+	}
+	return &lg, nil
+}
+
+// materialize renders the running state as a sorted snapshot slice (the
+// registry's canonical order: name, then label string).
+func materialize(state map[string]telemetry.Snapshot) []telemetry.Snapshot {
+	keys := make([]string, 0, len(state))
+	for k := range state {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]telemetry.Snapshot, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, state[k])
+	}
+	return out
+}

@@ -68,12 +68,13 @@ func TestHistogramNonFiniteQuarantine(t *testing.T) {
 		}
 	}
 	// Bucket integrity: total bucket mass equals the finite count.
-	counts, total := h.snapshotCounts()
+	countsBuf, total := h.snapshotCounts()
+	defer putCounts(countsBuf)
 	if total != 3 {
 		t.Fatalf("bucket total = %d, want 3", total)
 	}
 	var sum int64
-	for _, c := range counts {
+	for _, c := range *countsBuf {
 		sum += c
 	}
 	if sum != total {

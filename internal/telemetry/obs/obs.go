@@ -1,0 +1,160 @@
+// Package obs is the command-line glue between the flight recorder
+// (internal/telemetry/flight) and the SLO engine (internal/telemetry/slo):
+// one flag set, one Start call, one Finish call, shared by every CLI so
+// `-flight`, `-flight-interval` and `-slo` mean the same thing in repro,
+// atmsim, admitd and admitload.
+//
+// The two packages stay decoupled — flight knows nothing of SLO rules,
+// slo knows nothing of recording cadence — and meet only here, through
+// the recorder's OnFrame hook: each snapshot is fed to the engine as it
+// is taken, so breaches increment slo_* counters online (visible on
+// /metrics mid-run) rather than in a post-hoc replay.
+//
+// Typical wiring:
+//
+//	obsFlags := obs.AddFlags()          // before flag.Parse
+//	flag.Parse()
+//	sess, err := obsFlags.Start(telemetry.Default, "mytool")
+//	...
+//	telemetry.Serve(addr, reg, sess.Routes()...)   // mounts /vars/history
+//	...
+//	if !sess.Finish() { os.Exit(3) }    // stop, log verdict, gate exit
+//
+// Every method on *Session is nil-safe, so callers need no "is
+// observability on" branches: a nil session routes nothing and finishes
+// clean.
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/flight"
+	"repro/internal/telemetry/slo"
+)
+
+// Flags holds the shared observability flag values. Zero value = off.
+type Flags struct {
+	// Path is the -flight flag: the JSONL flight-log destination.
+	Path string
+	// Interval is the -flight-interval flag: the snapshot cadence.
+	Interval time.Duration
+	// Rules is the -slo flag: a semicolon-separated slo.ParseList input.
+	Rules string
+}
+
+// AddFlags registers -flight, -flight-interval and -slo on the default
+// flag set and returns the value holder. Call before flag.Parse.
+func AddFlags() *Flags {
+	f := &Flags{}
+	flag.StringVar(&f.Path, "flight", "", "record a delta-encoded JSONL flight log of periodic metric snapshots to this file (replay with obsreport); empty = off")
+	flag.DurationVar(&f.Interval, "flight-interval", flight.DefaultInterval, "flight recorder snapshot cadence (min 10ms)")
+	flag.StringVar(&f.Rules, "slo", "", `semicolon-separated SLO rules evaluated against each snapshot, e.g. 'p99(admitd_decision_latency_seconds) <= 0.01; value(mux_cells_lost_total) within [0, 1e6]'; any breach fails the run`)
+	return f
+}
+
+// Session is a live recorder (always) plus an SLO engine (with -slo).
+// A nil *Session is valid and inert.
+type Session struct {
+	Rec *flight.Recorder
+	Eng *slo.Engine // nil without -slo
+
+	tool string
+	path string
+}
+
+// Start launches the recorder — and the online SLO evaluation when rules
+// were given — against reg. Returns (nil, nil) when both flags are off:
+// observability not requested. SLO rules without a -flight path are
+// valid (the recorder then keeps only its in-memory ring).
+func (f *Flags) Start(reg *telemetry.Registry, tool string) (*Session, error) {
+	if f == nil || (f.Path == "" && f.Rules == "") {
+		return nil, nil
+	}
+	s := &Session{tool: tool, path: f.Path}
+	if f.Rules != "" {
+		rules, err := slo.ParseList(f.Rules)
+		if err != nil {
+			return nil, fmt.Errorf("-slo: %w", err)
+		}
+		s.Eng = slo.NewEngine(reg, rules)
+	}
+	opts := flight.Options{
+		Interval: f.Interval,
+		Path:     f.Path,
+		Tool:     tool,
+	}
+	if s.Eng != nil {
+		eng := s.Eng
+		opts.OnFrame = func(cur flight.Frame, prev *flight.Frame) {
+			eng.Observe(cur.Metrics, cur.ElapsedSeconds)
+		}
+	}
+	rec, err := flight.Start(reg, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.Rec = rec
+	telemetry.Log.Infof("flight recorder on (interval %v%s)", opts.Interval, describeSinks(f))
+	return s, nil
+}
+
+// describeSinks renders the active sinks for the startup log line.
+func describeSinks(f *Flags) string {
+	out := ""
+	if f.Path != "" {
+		out += ", log " + f.Path
+	}
+	if f.Rules != "" {
+		out += ", slo online"
+	}
+	return out
+}
+
+// Routes returns the extra telemetry endpoint routes this session serves
+// (the /vars/history ring). Splice into telemetry.Serve/Handler.
+func (s *Session) Routes() []telemetry.Route {
+	if s == nil {
+		return nil
+	}
+	return []telemetry.Route{{Pattern: "/vars/history", Handler: s.Rec.HistoryHandler()}}
+}
+
+// History returns the /vars/history handler, for servers that mount
+// their own mux (admitd's Config.History). Nil when the session is nil.
+func (s *Session) History() http.Handler {
+	if s == nil {
+		return nil
+	}
+	return s.Rec.HistoryHandler()
+}
+
+// Finish stops the recorder (recording the final frame), logs the SLO
+// verdict, and reports whether the run is observability-clean: true when
+// the log was written intact and no SLO rule failed. Callers gate their
+// exit status on it.
+func (s *Session) Finish() bool {
+	if s == nil {
+		return true
+	}
+	ok := true
+	if err := s.Rec.Stop(); err != nil {
+		telemetry.Log.Errorf("flight log %s: %v", s.path, err)
+		ok = false
+	} else if s.path != "" {
+		telemetry.Log.Infof("flight log: %d frames in ring, log %s", s.Rec.Len(), s.path)
+	}
+	if s.Eng != nil {
+		v := s.Eng.Verdict()
+		if v.Failed {
+			telemetry.Log.Errorf("SLO verdict: FAIL\n%s", v.Summary())
+			ok = false
+		} else {
+			telemetry.Log.Infof("SLO verdict: PASS\n%s", v.Summary())
+		}
+	}
+	return ok
+}

@@ -1,0 +1,291 @@
+package slo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// Engine evaluates a fixed rule set online, one snapshot at a time. It is
+// safe for concurrent use, though the usual wiring (the flight recorder's
+// OnFrame hook) calls it from a single goroutine.
+//
+// Each Observe bumps slo_evaluations_total once per rule actually
+// evaluated and slo_breaches_total{rule=...} once per breached rule, so
+// alert state is itself a metric the next flight frame captures.
+type Engine struct {
+	rules []Rule
+	reg   *telemetry.Registry
+
+	mu    sync.Mutex
+	state []*ruleState
+}
+
+// ruleState is one rule's accumulated evaluation history.
+type ruleState struct {
+	seen       bool // did the selector ever match an instrument?
+	evals      int64
+	breaches   int64
+	lastValue  float64
+	haveValue  bool
+	lastBreach string
+	// prev tracks, per matched instrument, the previous progress value —
+	// the substrate for rate/delta/stalled.
+	prev map[string]prevSample
+}
+
+type prevSample struct {
+	val     float64
+	elapsed float64
+	stall   int64 // consecutive frames without movement
+}
+
+// NewEngine builds an engine over parsed rules. Alert counters register in
+// reg (use the run's registry so breaches surface on /metrics and in the
+// flight log); a nil reg keeps evaluation but skips the counters.
+func NewEngine(reg *telemetry.Registry, rules []Rule) *Engine {
+	st := make([]*ruleState, len(rules))
+	for i := range st {
+		st[i] = &ruleState{prev: make(map[string]prevSample)}
+	}
+	return &Engine{rules: rules, reg: reg, state: st}
+}
+
+// Rules returns the engine's rule set.
+func (e *Engine) Rules() []Rule { return e.rules }
+
+// Observe evaluates every rule against one snapshot taken elapsed seconds
+// into the run. Snapshot order does not matter; labels follow the
+// registry's Snapshot shape.
+func (e *Engine) Observe(metrics []telemetry.Snapshot, elapsed float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, r := range e.rules {
+		e.observeRule(r, e.state[i], metrics, elapsed)
+	}
+}
+
+// observeRule evaluates one rule; caller holds e.mu.
+func (e *Engine) observeRule(r Rule, st *ruleState, metrics []telemetry.Snapshot, elapsed float64) {
+	evaluated := false
+	breached := false
+	detail := ""
+	matchedAny := false
+	for _, s := range metrics {
+		if !r.matches(s) {
+			continue
+		}
+		matchedAny = true
+		st.seen = true
+		v, ok := e.ruleValue(r, st, s, elapsed)
+		if !ok {
+			continue // derivative rule warming up, or agg inapplicable
+		}
+		evaluated = true
+		st.lastValue, st.haveValue = v, true
+		if !r.compare(v) {
+			breached = true
+			detail = fmt.Sprintf("t=%.1fs %s: observed %g", elapsed, instrumentName(s), v)
+		}
+	}
+	if !matchedAny && r.zeroDefault() {
+		// Absent flow metrics read as zero — health rules like
+		// "value(x) == 0" hold before the instrument first registers.
+		evaluated = true
+		st.lastValue, st.haveValue = 0, true
+		if !r.compare(0) {
+			breached = true
+			detail = fmt.Sprintf("t=%.1fs %s absent (reads 0)", elapsed, r.Metric)
+		}
+	}
+	if !evaluated {
+		return
+	}
+	st.evals++
+	if e.reg != nil {
+		e.reg.Counter("slo_evaluations_total").Inc()
+	}
+	if breached {
+		st.breaches++
+		st.lastBreach = detail
+		if e.reg != nil {
+			e.reg.Counter("slo_breaches_total", telemetry.L("rule", r.Expr)).Inc()
+		}
+	}
+}
+
+// ruleValue extracts the aggregation's value from one matched instrument,
+// updating derivative state. ok=false means this instrument contributes
+// nothing this frame (first sample of a derivative, or an aggregation the
+// instrument kind cannot answer).
+func (e *Engine) ruleValue(r Rule, st *ruleState, s telemetry.Snapshot, elapsed float64) (float64, bool) {
+	dist := s.Kind == telemetry.KindHistogram || s.Kind == telemetry.KindTimer
+	switch r.Agg {
+	case AggValue:
+		if dist {
+			return s.Sum, true
+		}
+		return s.Value, true
+	case AggCount:
+		if dist {
+			return float64(s.Count), true
+		}
+		return s.Value, true
+	case AggSum:
+		if dist {
+			return s.Sum, true
+		}
+		return s.Value, true
+	case AggNonFinite:
+		if dist {
+			return float64(s.NonFinite), true
+		}
+		return 0, true
+	case AggMin:
+		return s.Min, dist && s.Count > 0
+	case AggMax:
+		return s.Max, dist && s.Count > 0
+	case AggP50:
+		return s.P50, dist && s.Count > 0
+	case AggP95:
+		return s.P95, dist && s.Count > 0
+	case AggP99:
+		return s.P99, dist && s.Count > 0
+	case AggRate, AggDelta, AggStalled:
+		var cur float64
+		if dist {
+			cur = float64(s.Count)
+		} else {
+			cur = s.Value
+		}
+		key := instrumentName(s)
+		p, havePrev := st.prev[key]
+		next := prevSample{val: cur, elapsed: elapsed}
+		if havePrev && cur == p.val { //lint:floateq stall detection is exact-repeat detection: any movement, however small, is progress
+			next.stall = p.stall + 1
+		}
+		st.prev[key] = next
+		if !havePrev {
+			return 0, r.Agg == AggStalled // stalled evaluates from frame one (count 0)
+		}
+		switch r.Agg {
+		case AggDelta:
+			return cur - p.val, true
+		case AggStalled:
+			return float64(next.stall), true
+		default: // AggRate
+			dt := elapsed - p.elapsed
+			if dt <= 0 {
+				return 0, false
+			}
+			return (cur - p.val) / dt, true
+		}
+	}
+	return 0, false
+}
+
+// instrumentName renders name{k=v,...} with sorted labels.
+func instrumentName(s telemetry.Snapshot) string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(s.Labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// RuleResult is one rule's terminal outcome.
+type RuleResult struct {
+	Rule        string  `json:"rule"`
+	Evaluations int64   `json:"evaluations"`
+	Breaches    int64   `json:"breaches"`
+	MetricSeen  bool    `json:"metric_seen"`
+	LastValue   float64 `json:"last_value"`
+	LastBreach  string  `json:"last_breach,omitempty"`
+	Pass        bool    `json:"pass"`
+	Note        string  `json:"note,omitempty"`
+}
+
+// Verdict is the run-level outcome: the CI gate.
+type Verdict struct {
+	Rules  []RuleResult `json:"rules"`
+	Failed bool         `json:"failed"`
+}
+
+// Verdict renders the terminal verdict. A rule fails if it ever breached,
+// or if it needed observed data (quantiles, rates, stalls) and its metric
+// never appeared — a typo must not read as green.
+func (e *Engine) Verdict() Verdict {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var v Verdict
+	for i, r := range e.rules {
+		st := e.state[i]
+		rr := RuleResult{
+			Rule:        r.Expr,
+			Evaluations: st.evals,
+			Breaches:    st.breaches,
+			MetricSeen:  st.seen,
+			LastBreach:  st.lastBreach,
+		}
+		if st.haveValue {
+			rr.LastValue = st.lastValue
+		}
+		switch {
+		case st.breaches > 0:
+			rr.Pass = false
+		case !st.seen && !r.zeroDefault():
+			rr.Pass = false
+			rr.Note = "metric never observed — check the metric name"
+		case st.evals == 0:
+			rr.Pass = false
+			rr.Note = "rule never evaluated (no data reached the aggregation)"
+		default:
+			rr.Pass = true
+		}
+		if !rr.Pass {
+			v.Failed = true
+		}
+		v.Rules = append(v.Rules, rr)
+	}
+	return v
+}
+
+// Summary renders a compact human-readable verdict, one line per rule.
+func (v Verdict) Summary() string {
+	var b strings.Builder
+	for _, r := range v.Rules {
+		status := "PASS"
+		if !r.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "%s  %s  (evals=%d breaches=%d last=%g)",
+			status, r.Rule, r.Evaluations, r.Breaches, r.LastValue)
+		if r.Note != "" {
+			fmt.Fprintf(&b, "  [%s]", r.Note)
+		}
+		if r.LastBreach != "" {
+			fmt.Fprintf(&b, "  [%s]", r.LastBreach)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

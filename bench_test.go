@@ -25,6 +25,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/flight"
+	"repro/internal/telemetry/prof"
 	"repro/internal/traffic"
 )
 
@@ -133,6 +134,7 @@ func BenchmarkFig10Asymptotics(b *testing.B) {
 func benchGenerator(b *testing.B, m traffic.Model) {
 	b.Helper()
 	g := m.NewGenerator(1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = g.NextFrame()
@@ -311,6 +313,7 @@ func replayWorkload(b *testing.B) *traffic.Replay {
 func benchMuxRun(b *testing.B, m traffic.Model) {
 	b.Helper()
 	cfg := mux.Config{Model: m, N: 100, C: 526, B: 100, Frames: 20000}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i)
@@ -350,6 +353,25 @@ func BenchmarkMuxRunBlockFlight(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer rec.Stop()
+	benchMuxRun(b, replayWorkload(b))
+}
+
+// BenchmarkMuxRunBlockProfiled is BenchmarkMuxRunBlock with the
+// continuous profiler live at its default production cadence (CPU
+// windows, heap/goroutine snapshots, bounded store) — the exact
+// `-profile` configuration. The benchdiff baseline holds its throughput
+// within 1% of the plain block run: profiling is purely observational,
+// the simulation never waits on the collector.
+func BenchmarkMuxRunBlockProfiled(b *testing.B) {
+	col, err := prof.StartCollector(prof.CollectorOptions{
+		Dir:      filepath.Join(b.TempDir(), "profiles"),
+		Tool:     "bench",
+		Registry: telemetry.Default,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer col.Stop()
 	benchMuxRun(b, replayWorkload(b))
 }
 
@@ -397,6 +419,7 @@ func BenchmarkFlightSnapshot(b *testing.B) {
 func BenchmarkEngineStepOpenLoop(b *testing.B) {
 	m := replayWorkload(b)
 	cfg := mux.Config{Model: m, N: 100, C: 526, B: 100, Frames: 20000, ForceStep: true}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i)
@@ -418,6 +441,7 @@ func BenchmarkEngineStepClosedLoop(b *testing.B) {
 		b.Fatal(err)
 	}
 	cfg := mux.Config{Model: m, N: 100, C: 526, B: 100, Frames: 20000}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i)
@@ -461,6 +485,7 @@ func BenchmarkMuxSweep(b *testing.B) {
 	}
 	buffers := []float64{0, 27, 134, 269}
 	cfg := mux.Config{Model: z, N: 30, C: 538, Frames: 1000}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i)

@@ -7,7 +7,8 @@
 //
 //	admitd [-listen :8080] [-links core:365566:20:1e-6,edge:96000:10:1e-5]
 //	       [-estimator br|largen] [-journal] [-cache 8192]
-//	       [-flight FILE] [-flight-interval DUR] [-slo RULES] [-v|-quiet]
+//	       [-flight FILE] [-flight-interval DUR] [-slo RULES]
+//	       [-profile DIR] [-profile-interval DUR] [-v|-quiet]
 //
 // Endpoints: POST /v1/admit, POST /v1/release, GET /v1/links,
 // GET|POST /v1/quote, GET /healthz, plus /metrics, /vars, /debug/pprof/
@@ -20,7 +21,9 @@
 // build cannot pass a smoke run. With -slo RULES the snapshots are also
 // evaluated online against SLO rules (p99 latency bounds, loss bands,
 // stall detection; see internal/telemetry/slo) and a breached rule joins
-// that same non-zero exit gate.
+// that same non-zero exit gate. With -profile DIR the continuous
+// profiler captures periodic CPU/heap/goroutine snapshots of the serving
+// process into a bounded store for profdiff.
 package main
 
 import (

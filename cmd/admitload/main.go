@@ -23,11 +23,13 @@
 //	          [-decisions 100000] [-maxactive 64] [-bias 0.55]
 //	          [-duration 0] [-seed 1996] [-estimator br] [-quiet]
 //	          [-flight FILE] [-flight-interval DUR] [-slo RULES]
+//	          [-profile DIR] [-profile-interval DUR]
 //
 // With -flight FILE the generator's client-side metrics (achieved QPS,
 // observed latency quantiles, error counts) are snapshotted periodically
 // into a JSONL flight log for obsreport; -slo RULES evaluates SLO rules
-// against those snapshots online.
+// against those snapshots online; -profile DIR captures continuous
+// CPU/heap profiles of the generator into a bounded store for profdiff.
 //
 // The exit status is non-zero if any request failed (non-2xx / transport
 // error), if an SLO rule breached, or, in -inproc mode, if the journal

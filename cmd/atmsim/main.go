@@ -7,6 +7,7 @@
 //	atmsim [-models z:0.975] [-c 538] [-n 30] [-buffers 0,2,5,10,20]
 //	       [-frames 100000] [-reps 8] [-seed 1] [-workers 0] [-bop]
 //	       [-adaptive] [-telemetry ADDR] [-flight FILE] [-slo RULES]
+//	       [-profile DIR]
 //
 // With -adaptive (or an aimd:<spec> model spec) sources are closed-loop:
 // an AIMD controller scales each source's frame sizes against the queue
@@ -25,8 +26,10 @@
 // metric snapshots are recorded to a JSONL flight log (served live at
 // /vars/history on the -telemetry endpoint, replayed by obsreport), and
 // -slo RULES evaluates SLO rules online against each snapshot, exiting
-// non-zero on any breach. -v/-quiet adjust log verbosity. None of these
-// sinks perturbs results.
+// non-zero on any breach. -profile DIR captures continuous CPU/heap
+// profiles, labelled by model, sweep point, engine path and worker lane,
+// into a bounded store (inspect with profdiff). -v/-quiet adjust log
+// verbosity. None of these sinks perturbs results.
 package main
 
 import (
@@ -46,6 +49,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/obs"
+	"repro/internal/telemetry/prof"
 	"repro/internal/trace"
 	"repro/internal/traffic"
 )
@@ -124,6 +128,8 @@ func main() {
 		fmt.Printf("model %s  (N=%d, c=%g cells/frame, %d reps × %d frames)\n",
 			m.Name(), *n, *c, *reps, *frames)
 		sp := tracer.Root("model "+m.Name(), trace.Int("N", *n), trace.Float("c", *c))
+		// Profiling coordinate: all work below attributes to this model.
+		mctx := prof.WithLabels(ctx, prof.Labels{Model: m.Name()})
 		if *bop {
 			thresholds := make([]float64, len(cells))
 			for i, b := range cells {
@@ -158,7 +164,10 @@ func main() {
 			for i, b := range cells {
 				c := cfg
 				c.B = b
-				results, err := mux.RunReplicationsEngine(trace.ContextWith(ctx, sp), eng, c, *reps)
+				// Per-buffer batches are independent runs, so samples also
+				// carry the buffer size they were spent on.
+				bctx := prof.WithLabels(mctx, prof.Labels{SweepPoint: fmt.Sprintf("%gmsec", msecs[i])})
+				results, err := mux.RunReplicationsEngine(trace.ContextWith(bctx, sp), eng, c, *reps)
 				if err != nil {
 					sp.End()
 					fatal(err)
@@ -168,7 +177,9 @@ func main() {
 			sp.End()
 		} else {
 			var err error
-			byBuffer, err = mux.SweepReplicationsEngine(trace.ContextWith(ctx, sp), eng, cfg, cells, *reps)
+			byBuffer, err = mux.SweepReplicationsEngine(
+				trace.ContextWith(prof.WithLabels(mctx, prof.Labels{SweepPoint: "coupled"}), sp),
+				eng, cfg, cells, *reps)
 			sp.End()
 			if err != nil {
 				fatal(err)

@@ -2,11 +2,13 @@ package main
 
 import (
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/flight"
+	"repro/internal/telemetry/prof"
 	"repro/internal/telemetry/slo"
 )
 
@@ -78,6 +80,102 @@ func TestFlightSectionAndMarkdown(t *testing.T) {
 	}
 	if v.Failed {
 		t.Fatalf("verdict failed: %s", v.Summary())
+	}
+}
+
+// writeBridgedLog records a flight log with the runtime/metrics bridge
+// attached, so frames carry go_* runtime-health metrics.
+func writeBridgedLog(t *testing.T) string {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("cells_total")
+	bridge := prof.NewRuntimeBridge(reg)
+	path := filepath.Join(t.TempDir(), "flight.jsonl")
+	r, err := flight.Start(reg, flight.Options{
+		Interval: flight.DefaultInterval, Path: path, Tool: "obsreport-test",
+		BeforeSnapshot: bridge.Poll,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Add(7)
+	// /gc/heap/live:bytes only updates at the end of a GC cycle; force one
+	// so the final frame carries a live heap figure.
+	runtime.GC()
+	if err := r.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRuntimeSection(t *testing.T) {
+	lg, err := flight.ReadLog(writeBridgedLog(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec := buildRuntimeSection(lg)
+	if sec == nil {
+		t.Fatal("no runtime section from a bridged log")
+	}
+	if sec.Goroutines == nil || sec.GoroutineHighWater < 1 {
+		t.Errorf("goroutine high-water = %v, want >= 1", sec.GoroutineHighWater)
+	}
+	if sec.HeapLive == nil || sec.HeapLive.Last <= 0 {
+		t.Errorf("heap live series missing or zero: %+v", sec.HeapLive)
+	}
+	md := Report{Runtime: sec}.Markdown()
+	for _, want := range []string{"## Runtime health", "go_goroutines", "go_heap_live_bytes", "high-water"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+
+	// A log without bridge metrics yields no section at all.
+	plain, err := flight.ReadLog(writeLog(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := buildRuntimeSection(plain); got != nil {
+		t.Errorf("unbridged log produced a runtime section: %+v", got)
+	}
+}
+
+func TestProfileSection(t *testing.T) {
+	dir := t.TempDir()
+	p := &prof.Profile{
+		SampleTypes: []prof.ValueType{{Type: "cpu", Unit: "nanoseconds"}},
+		Samples: []prof.Sample{
+			{Stack: []string{"mux.lindleyStep", "mux.Run"}, Values: []int64{900},
+				Labels: map[string]string{prof.KeyFigure: "fig8", prof.KeyPath: "chunked"}},
+			{Stack: []string{"runtime.gcBgMarkWorker"}, Values: []int64{100}},
+		},
+	}
+	w, err := prof.CreateStore(dir, prof.StoreHeader{Tool: "test"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.WriteSet(1.0, map[string][]byte{prof.KindCPU: prof.Encode(p)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sec, err := buildProfileSection(dir, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sec.Attribution != 0.9 { //lint:floateq 900 of 1000 synthetic nanos is exact
+		t.Errorf("attribution = %v, want 0.9", sec.Attribution)
+	}
+	if sec.CPUWindows != 1 || sec.LiveSets != 1 {
+		t.Errorf("coverage: %+v", sec)
+	}
+	md := Report{Profile: sec}.Markdown()
+	for _, want := range []string{"## Profile attribution", "mux.lindleyStep", "90.0%", "figure", "fig8"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
 	}
 }
 

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry/prof"
+)
+
+// writeStore builds a one-set synthetic store whose CPU profile spends
+// the given nanoseconds per function. Functions named in labeled get a
+// figure label; the rest stay unattributed.
+func writeStore(t *testing.T, dir string, ns map[string]int64, labeled map[string]bool) {
+	t.Helper()
+	p := &prof.Profile{
+		SampleTypes: []prof.ValueType{{Type: "samples", Unit: "count"}, {Type: "cpu", Unit: "nanoseconds"}},
+	}
+	for _, fn := range sortedNames(toSet(ns)) {
+		s := prof.Sample{Stack: []string{fn, "main.main"}, Values: []int64{1, ns[fn]}}
+		if labeled[fn] {
+			s.Labels = map[string]string{prof.KeyFigure: "fig8"}
+		}
+		p.Samples = append(p.Samples, s)
+	}
+	w, err := prof.CreateStore(dir, prof.StoreHeader{Tool: "test"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.WriteSet(1.0, map[string][]byte{prof.KindCPU: prof.Encode(p)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func toSet(m map[string]int64) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+func TestReportSingleStore(t *testing.T) {
+	dir := t.TempDir()
+	writeStore(t, dir, map[string]int64{"mux.lindleyStep": 900, "gc": 100},
+		map[string]bool{"mux.lindleyStep": true})
+	var out strings.Builder
+	if code := runReport(&out, dir, 10); code != 0 {
+		t.Fatalf("runReport = %d, want 0\n%s", code, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"mux.lindleyStep", "label attribution: 90.0%", "figure"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestDiffDetectsInjectedRegression(t *testing.T) {
+	oldDir, newDir := t.TempDir(), t.TempDir()
+	writeStore(t, oldDir, map[string]int64{"hot": 600, "cold": 400}, nil)
+	// Injected regression: "cold" grows from 40% to 70% of the run.
+	writeStore(t, newDir, map[string]int64{"hot": 300, "cold": 700}, nil)
+	var out strings.Builder
+	code := runDiff(&out, oldDir, newDir, 0.20, 0.01, true, false)
+	if code != 2 {
+		t.Fatalf("runDiff = %d, want 2 (injected regression must gate)\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("diff output does not flag the regression:\n%s", out.String())
+	}
+	// Without -fail the same diff reports but exits clean.
+	if code := runDiff(&out, oldDir, newDir, 0.20, 0.01, false, false); code != 0 {
+		t.Errorf("runDiff without -fail = %d, want 0", code)
+	}
+}
+
+func TestDiffCleanOnIdenticalStores(t *testing.T) {
+	oldDir, newDir := t.TempDir(), t.TempDir()
+	ns := map[string]int64{"hot": 600, "cold": 400}
+	writeStore(t, oldDir, ns, nil)
+	writeStore(t, newDir, ns, nil)
+	var out strings.Builder
+	if code := runDiff(&out, oldDir, newDir, 0.20, 0.01, true, false); code != 0 {
+		t.Fatalf("runDiff on identical stores = %d, want 0\n%s", code, out.String())
+	}
+}
+
+func TestDiffFlagsNewHotspot(t *testing.T) {
+	oldDir, newDir := t.TempDir(), t.TempDir()
+	writeStore(t, oldDir, map[string]int64{"hot": 1000}, nil)
+	writeStore(t, newDir, map[string]int64{"hot": 800, "sneaky": 200}, nil)
+	var out strings.Builder
+	if code := runDiff(&out, oldDir, newDir, 0.20, 0.01, true, false); code != 2 {
+		t.Fatalf("runDiff = %d, want 2 (new hotspot must gate)\n%s", code, out.String())
+	}
+}
+
+func TestCheckAgainstBaseline(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(base, []byte(`{"schema_version":1,"min_label_attribution":0.9}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	good := t.TempDir()
+	writeStore(t, good, map[string]int64{"a": 950, "b": 50}, map[string]bool{"a": true})
+	var out strings.Builder
+	if code := runCheck(&out, base, good); code != 0 {
+		t.Fatalf("runCheck(good) = %d, want 0\n%s", code, out.String())
+	}
+
+	bad := t.TempDir()
+	writeStore(t, bad, map[string]int64{"a": 500, "b": 500}, map[string]bool{"a": true})
+	out.Reset()
+	if code := runCheck(&out, base, bad); code != 2 {
+		t.Fatalf("runCheck(bad) = %d, want 2\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Errorf("check output does not explain the failure:\n%s", out.String())
+	}
+}
+
+func TestCheckParseErrorIsBlocking(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(base, []byte(`{"schema_version":1,"min_label_attribution":0.5}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	writeStore(t, dir, map[string]int64{"a": 100}, map[string]bool{"a": true})
+	// Corrupt the profile body: the check must fail hard (exit 1), not
+	// report partial attribution.
+	name := filepath.Join(dir, "cpu_000001.pb.gz")
+	if err := os.WriteFile(name, []byte("\x1f\x8bnot a gzip stream at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if code := runCheck(&out, base, dir); code != 1 {
+		t.Fatalf("runCheck(corrupt) = %d, want 1\n%s", code, out.String())
+	}
+}

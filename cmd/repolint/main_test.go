@@ -6,9 +6,9 @@ import (
 	"testing"
 )
 
-// sixAnalyzers is the suite contract; DESIGN.md §11 documents exactly
+// suiteAnalyzers is the suite contract; DESIGN.md §11 documents exactly
 // these invariants.
-var sixAnalyzers = []string{"rngsource", "walltime", "maporder", "printguard", "floateq", "pprofimport"}
+var suiteAnalyzers = []string{"rngsource", "walltime", "maporder", "printguard", "floateq", "pprofimport", "proflabels"}
 
 // TestListRegistersAllAnalyzers checks the multichecker wires up the
 // full suite: every analyzer name appears in -list output and the exit
@@ -19,10 +19,10 @@ func TestListRegistersAllAnalyzers(t *testing.T) {
 		t.Fatalf("run(-list) = %d, want 0 (stderr: %s)", code, stderr.String())
 	}
 	out := stdout.String()
-	if got := len(strings.Split(strings.TrimSpace(out), "\n")); got != len(sixAnalyzers) {
-		t.Errorf("-list printed %d analyzers, want %d:\n%s", got, len(sixAnalyzers), out)
+	if got := len(strings.Split(strings.TrimSpace(out), "\n")); got != len(suiteAnalyzers) {
+		t.Errorf("-list printed %d analyzers, want %d:\n%s", got, len(suiteAnalyzers), out)
 	}
-	for _, name := range sixAnalyzers {
+	for _, name := range suiteAnalyzers {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, out)
 		}
@@ -43,7 +43,7 @@ func TestBrokenModuleFailsEveryAnalyzer(t *testing.T) {
 		t.Fatalf("run(-C brokenmod) = %d, want 1 (stderr: %s)", code, stderr.String())
 	}
 	out := stdout.String()
-	for _, name := range sixAnalyzers {
+	for _, name := range suiteAnalyzers {
 		if !strings.Contains(out, "["+name+"]") {
 			t.Errorf("no %s finding reported on brokenmod:\n%s", name, out)
 		}

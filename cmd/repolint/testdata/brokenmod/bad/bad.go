@@ -3,8 +3,10 @@
 package bad
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime/pprof" // second pprofimport violation (runtime/pprof outside prof)
 	"time"
 
 	_ "net/http/pprof" // pprofimport violation
@@ -27,4 +29,10 @@ func Dump(m map[string]int) {
 // Same is a floateq violation.
 func Same(a, b float64) bool {
 	return a == b
+}
+
+// Label is a proflabels violation (label API outside the prof package,
+// plus a key outside the fixed set).
+func Label(ctx context.Context) context.Context {
+	return pprof.WithLabels(ctx, pprof.Labels("experiment", "x"))
 }

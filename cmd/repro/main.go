@@ -9,6 +9,7 @@
 //	repro [-exp all|table1,fig1,...,fig10] [-reps N] [-frames N]
 //	      [-seed N] [-out DIR] [-csv] [-workers N] [-checkpoint FILE]
 //	      [-telemetry ADDR] [-flight FILE] [-flight-interval DUR] [-slo RULES]
+//	      [-profile DIR] [-profile-interval DUR]
 //
 // Simulation replications fan out over -workers cores (default: all);
 // results are bit-identical for every worker count. With -checkpoint,
@@ -30,9 +31,13 @@
 // serves the recent history at /vars/history on the -telemetry endpoint.
 // With -slo RULES (see internal/telemetry/slo for the grammar) each
 // snapshot is evaluated online and any breached rule fails the run with
-// exit status 3. -v/-quiet raise/lower log verbosity. None of these
-// sinks perturbs results: fixed-seed outputs are bit-identical with
-// every combination on or off.
+// exit status 3. With -profile DIR the continuous profiler captures
+// periodic CPU windows plus heap/goroutine snapshots into a bounded
+// on-disk store, each sample labelled with the figure/model/sweep-point/
+// path/lane it was spent on (inspect with profdiff or obsreport
+// -profile). -v/-quiet raise/lower log verbosity. None of these sinks
+// perturbs results: fixed-seed outputs are bit-identical with every
+// combination on or off.
 package main
 
 import (
@@ -52,6 +57,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/obs"
+	"repro/internal/telemetry/prof"
 	"repro/internal/trace"
 )
 
@@ -186,10 +192,13 @@ func main() {
 
 	// Simulation-backed drivers receive the figure's root span through
 	// SimConfig so sweeps, replications and mux chunks nest below it;
-	// analytic drivers just run inside the span's extent.
-	withSpan := func(sp trace.Span) experiments.SimConfig {
+	// analytic drivers just run inside the span's extent. The figure id
+	// also becomes the outermost profiling label, so CPU samples from any
+	// worker goroutine attribute back to the figure being regenerated.
+	withSpan := func(id string, sp trace.Span) experiments.SimConfig {
 		s := sim
 		s.Span = sp
+		s.Ctx = prof.WithLabels(ctx, prof.Labels{Figure: id})
 		return s
 	}
 	type driver struct {
@@ -210,10 +219,10 @@ func main() {
 		{"fig5", analytic(experiments.Fig5)},
 		{"fig6", analytic(experiments.Fig6)},
 		{"fig7", analytic(experiments.Fig7)},
-		{"fig8", func(sp trace.Span) ([]*experiments.Result, error) { return experiments.Fig8(withSpan(sp)) }},
-		{"fig9", func(sp trace.Span) ([]*experiments.Result, error) { return experiments.Fig9(withSpan(sp)) }},
+		{"fig8", func(sp trace.Span) ([]*experiments.Result, error) { return experiments.Fig8(withSpan("fig8", sp)) }},
+		{"fig9", func(sp trace.Span) ([]*experiments.Result, error) { return experiments.Fig9(withSpan("fig9", sp)) }},
 		{"fig10", func(sp trace.Span) ([]*experiments.Result, error) {
-			r, err := experiments.Fig10(withSpan(sp))
+			r, err := experiments.Fig10(withSpan("fig10", sp))
 			return []*experiments.Result{r}, err
 		}},
 		// Extensions beyond the published evaluation (paper §6 directions);
@@ -222,15 +231,15 @@ func main() {
 		{"extsub", analytic(experiments.ExtSubstrates)},
 		{"extweibull", analytic(experiments.ExtWeibull)},
 		{"extmarg", func(sp trace.Span) ([]*experiments.Result, error) {
-			r, err := experiments.ExtMarginals(withSpan(sp))
+			r, err := experiments.ExtMarginals(withSpan("extmarg", sp))
 			return []*experiments.Result{r}, err
 		}},
 		{"extflr", func(sp trace.Span) ([]*experiments.Result, error) {
-			r, err := experiments.ExtFLR(withSpan(sp))
+			r, err := experiments.ExtFLR(withSpan("extflr", sp))
 			return []*experiments.Result{r}, err
 		}},
 		{"extloop", func(sp trace.Span) ([]*experiments.Result, error) {
-			r, err := experiments.ExtClosedLoop(withSpan(sp))
+			r, err := experiments.ExtClosedLoop(withSpan("extloop", sp))
 			return []*experiments.Result{r}, err
 		}},
 	}

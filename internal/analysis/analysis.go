@@ -1,7 +1,7 @@
 // Package analysis is the repository's static-analysis framework: a
 // deliberately small, dependency-free mirror of the
 // golang.org/x/tools/go/analysis API (Analyzer, Pass, Diagnostic) plus
-// the six analyzers that encode this codebase's determinism and
+// the seven analyzers that encode this codebase's determinism and
 // observability invariants. The toolchain image carries no module cache,
 // so rather than vendoring x/tools (~10k files) the framework is built
 // directly on the standard library's go/ast, go/parser and go/types; the
@@ -20,7 +20,11 @@
 //     and internal/telemetry — output goes through the leveled logger.
 //   - floateq:     no ==/!= on floating-point operands except against a
 //     literal zero or under an explicit waiver.
-//   - pprofimport: net/http/pprof linked only via internal/telemetry.
+//   - pprofimport: net/http/pprof linked only via internal/telemetry;
+//     runtime/pprof linked only via internal/telemetry/prof.
+//   - proflabels:  runtime/pprof's goroutine-label API called only in
+//     internal/telemetry/prof, and literal label keys drawn only from
+//     the fixed set figure/sweep_point/model/path/lane.
 //
 // Waivers: a line comment of the form
 //

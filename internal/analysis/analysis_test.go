@@ -39,10 +39,10 @@ func moduleRoot(t *testing.T) string {
 	}
 }
 
-// TestSuiteRegistersSixAnalyzers pins the suite's contents: DESIGN.md
-// §11 documents exactly these six invariants.
-func TestSuiteRegistersSixAnalyzers(t *testing.T) {
-	want := []string{"rngsource", "walltime", "maporder", "printguard", "floateq", "pprofimport"}
+// TestSuiteRegistersSevenAnalyzers pins the suite's contents: DESIGN.md
+// §11 documents exactly these seven invariants.
+func TestSuiteRegistersSevenAnalyzers(t *testing.T) {
+	want := []string{"rngsource", "walltime", "maporder", "printguard", "floateq", "pprofimport", "proflabels"}
 	all := analysis.All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))

@@ -11,5 +11,6 @@ func All() []*Analyzer {
 		PrintGuard,
 		FloatEq,
 		PprofImport,
+		ProfLabels,
 	}
 }

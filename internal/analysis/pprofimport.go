@@ -4,33 +4,50 @@ import (
 	"strconv"
 )
 
-// pprofOwner is the only package allowed to link net/http/pprof, whose
-// import side effect registers handlers on http.DefaultServeMux.
-// Profiling is exposed exclusively through telemetry's opt-in listener.
-const pprofOwner = "internal/telemetry"
+// restrictedImports maps each profiling import to the single package
+// tree allowed to link it, with the hazard the restriction prevents.
+//
+//   - net/http/pprof: its import side effect registers handlers on
+//     http.DefaultServeMux; profiling endpoints are exposed exclusively
+//     through telemetry's opt-in listener.
+//   - runtime/pprof: the continuous-profiling collector in
+//     internal/telemetry/prof owns the process-wide CPU profiler
+//     (StartCPUProfile fails if a second caller starts it) and the
+//     goroutine-label discipline (see the proflabels analyzer); ad-hoc
+//     profile captures elsewhere would race the collector's windows.
+var restrictedImports = []struct {
+	path  string
+	owner string
+	why   string
+}{
+	{"net/http/pprof", "internal/telemetry", "profiling is exposed only via the telemetry listener"},
+	{"runtime/pprof", "internal/telemetry/prof", "the prof collector owns the process-wide profiler and the label key set"},
+}
 
 // PprofImport is the analyzer form of the boundary previously enforced
 // by internal/telemetry/lint_test.go's go/parser walk (and a CI grep):
 // importing net/http/pprof anywhere else would silently mount profiling
-// endpoints on any default-mux server the process starts.
+// endpoints on any default-mux server the process starts, and importing
+// runtime/pprof anywhere else would let ad-hoc captures fight the
+// continuous collector over the single CPU profiler.
 var PprofImport = &Analyzer{
 	Name: "pprofimport",
-	Doc:  "flags net/http/pprof imports outside internal/telemetry (import side effect mounts handlers on http.DefaultServeMux)",
-	Run:  runPprofImport,
+	Doc: "flags net/http/pprof imports outside internal/telemetry and runtime/pprof " +
+		"imports outside internal/telemetry/prof — profiling is linked only through its owning package",
+	Run: runPprofImport,
 }
 
 func runPprofImport(pass *Pass) error {
-	if pathAllowed(pass.RelPath, pprofOwner) {
-		return nil
-	}
 	for _, f := range pass.Files {
 		for _, imp := range f.Imports {
 			path, err := strconv.Unquote(imp.Path.Value)
 			if err != nil {
 				continue
 			}
-			if path == "net/http/pprof" {
-				pass.Reportf(imp.Pos(), "net/http/pprof imported outside %s; profiling is exposed only via the telemetry listener", pprofOwner)
+			for _, r := range restrictedImports {
+				if path == r.path && !pathAllowed(pass.RelPath, r.owner) {
+					pass.Reportf(imp.Pos(), "%s imported outside %s; %s", r.path, r.owner, r.why)
+				}
 			}
 		}
 	}

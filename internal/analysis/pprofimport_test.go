@@ -9,7 +9,8 @@ import (
 
 func TestPprofImport(t *testing.T) {
 	analysistest.Run(t, fixtureModule(t), analysis.PprofImport,
-		"fix/pprof",              // stray import flagged
-		"fix/internal/telemetry", // the exposition package is exempt
+		"fix/pprof",                   // stray imports flagged
+		"fix/internal/telemetry",      // the exposition package is exempt
+		"fix/internal/telemetry/prof", // the collector may link runtime/pprof
 	)
 }

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestProfLabels(t *testing.T) {
+	analysistest.Run(t, fixtureModule(t), analysis.ProfLabels,
+		"fix/proflabels",                     // label API outside the owner flagged
+		"fix/internal/telemetry/prof",        // owner call sites are exempt
+		"fix/internal/telemetry/prof/badkey", // ...but the fixed key set still binds
+	)
+}

@@ -1,0 +1,14 @@
+// Package badkey sits inside the owner tree, so proflabels accepts its
+// call sites — but the fixed-key rule has no exemption: an invented
+// constant key is a finding even here.
+package badkey
+
+import (
+	"context"
+	"runtime/pprof"
+)
+
+func InventKey(ctx context.Context) context.Context {
+	return pprof.WithLabels(ctx,
+		pprof.Labels("experiment", "x")) // want "pprof label key \"experiment\" is not in the fixed key set"
+}

@@ -1,12 +1,15 @@
 // Package pprof exercises the pprofimport analyzer: linking
 // net/http/pprof outside internal/telemetry mounts profiling handlers
-// on http.DefaultServeMux as an import side effect.
+// on http.DefaultServeMux as an import side effect, and linking
+// runtime/pprof outside internal/telemetry/prof lets ad-hoc captures
+// race the continuous collector over the single CPU profiler.
 package pprof
 
 import (
 	"net/http"
 
 	_ "net/http/pprof" // want "net/http/pprof imported outside internal/telemetry"
+	_ "runtime/pprof"  // want "runtime/pprof imported outside internal/telemetry/prof"
 )
 
 func Serve(addr string) error {

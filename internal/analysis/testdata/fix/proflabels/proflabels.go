@@ -1,0 +1,28 @@
+// Package proflabels exercises the proflabels analyzer: the
+// runtime/pprof goroutine-label API belongs to internal/telemetry/prof,
+// and literal label keys must come from the fixed attribution set.
+package proflabels
+
+import (
+	"context"
+	"runtime/pprof"
+)
+
+func Attach(ctx context.Context, f func(context.Context)) {
+	lbl := pprof.Labels("figure", "fig8") // want "pprof.Labels called outside internal/telemetry/prof"
+	pprof.Do(ctx, lbl, f)                 // want "pprof.Do called outside internal/telemetry/prof"
+}
+
+func Stack(ctx context.Context) context.Context {
+	// A key outside the fixed set is a second, independent finding.
+	return pprof.WithLabels(ctx, // want "pprof.WithLabels called outside internal/telemetry/prof"
+		pprof.Labels("experiment", "x")) // want "pprof.Labels called outside internal/telemetry/prof" "pprof label key \"experiment\" is not in the fixed key set"
+}
+
+func Apply(ctx context.Context) {
+	pprof.SetGoroutineLabels(ctx) // want "pprof.SetGoroutineLabels called outside internal/telemetry/prof"
+}
+
+func Read(ctx context.Context) (string, bool) {
+	return pprof.Label(ctx, "model") // want "pprof.Label called outside internal/telemetry/prof"
+}

@@ -5,12 +5,15 @@ import (
 )
 
 // walltimeAllowed lists the package trees that may read the wall clock:
-// telemetry (timers, manifests), trace (span timestamps), runner
-// (progress/ETA), the admission service (request/decision latency is the
-// quantity it serves and reports — a server cannot be a pure function of
-// its seed; see DESIGN.md §11) and the CLIs. Everything else — models,
-// multiplexers, solvers — must be a pure function of its inputs and seed,
-// or replays stop being bit-identical.
+// telemetry (timers, manifests; the internal/telemetry root also covers
+// internal/telemetry/prof, whose collector paces CPU windows with a
+// ticker and stamps store index lines — pure observation, never inputs
+// to a model), trace (span timestamps), runner (progress/ETA), the
+// admission service (request/decision latency is the quantity it serves
+// and reports — a server cannot be a pure function of its seed; see
+// DESIGN.md §11) and the CLIs. Everything else — models, multiplexers,
+// solvers — must be a pure function of its inputs and seed, or replays
+// stop being bit-identical.
 var walltimeAllowed = []string{
 	"internal/telemetry",
 	"internal/trace",

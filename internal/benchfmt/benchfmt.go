@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -146,10 +147,18 @@ type Delta struct {
 // positive values mean worse, negative better, regardless of unit
 // direction.
 func (d Delta) Change() float64 {
-	if d.Old == 0 {
+	var ch float64
+	switch {
+	case d.Old == 0 && d.New == 0:
 		return 0
+	case d.Old == 0:
+		// 0 → N has no finite ratio; treat it as an unbounded move so a
+		// benchmark that starts allocating (0 → 1 allocs/op) always gates
+		// rather than slipping under every threshold.
+		ch = math.Inf(1)
+	default:
+		ch = d.New/d.Old - 1
 	}
-	ch := d.New/d.Old - 1
 	if !LowerIsBetter(d.Unit) {
 		ch = -ch
 	}
@@ -211,8 +220,12 @@ func Report(w io.Writer, deltas []Delta, threshold float64, onlyInteresting bool
 		case ch < -threshold:
 			mark = "  improved"
 		}
-		fmt.Fprintf(w, "%-44s %-12s %14.5g %14.5g %+7.1f%%%s\n",
-			d.Name, d.Unit, d.Old, d.New, 100*(d.New/maxNonZero(d.Old)-1), mark)
+		change := fmt.Sprintf("%+7.1f%%", 100*(d.New/maxNonZero(d.Old)-1))
+		if d.Old == 0 && d.New != 0 {
+			change = "  0→new" // no finite ratio to print
+		}
+		fmt.Fprintf(w, "%-44s %-12s %14.5g %14.5g %s%s\n",
+			d.Name, d.Unit, d.Old, d.New, change, mark)
 	}
 	fmt.Fprintf(w, "%d comparisons, %d regressions (threshold %.0f%%)\n",
 		len(deltas), nReg, 100*threshold)

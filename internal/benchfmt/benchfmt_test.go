@@ -125,6 +125,43 @@ func TestDiffDirections(t *testing.T) {
 	}
 }
 
+func TestZeroBaselineAllocationsGate(t *testing.T) {
+	old := File{Benchmarks: []Benchmark{
+		{Name: "BenchmarkHot", Metrics: map[string]float64{"allocs/op": 0, "B/op": 0}},
+	}}
+	nw := File{Benchmarks: []Benchmark{
+		{Name: "BenchmarkHot", Metrics: map[string]float64{"allocs/op": 1, "B/op": 16}},
+	}}
+	deltas := Diff(old, nw, 0.20)
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2: %+v", len(deltas), deltas)
+	}
+	for _, d := range deltas {
+		if !d.Regression {
+			t.Errorf("%s %s: 0 → %g must gate regardless of threshold: %+v", d.Name, d.Unit, d.New, d)
+		}
+	}
+	var buf bytes.Buffer
+	Report(&buf, deltas, 0.20, true)
+	if !strings.Contains(buf.String(), "0→new") {
+		t.Errorf("report should mark the ratio-less change:\n%s", buf.String())
+	}
+	// A benchmark that stays at zero allocations is not a regression.
+	for _, d := range Diff(old, old, 0.20) {
+		if d.Regression || d.Change() != 0 {
+			t.Errorf("0 → 0 flagged: %+v", d)
+		}
+	}
+	// 0 → N in a higher-is-better unit is an unbounded improvement.
+	oldRate := File{Benchmarks: []Benchmark{{Name: "BenchmarkR", Metrics: map[string]float64{"frames/sec": 0}}}}
+	newRate := File{Benchmarks: []Benchmark{{Name: "BenchmarkR", Metrics: map[string]float64{"frames/sec": 100}}}}
+	for _, d := range Diff(oldRate, newRate, 0.20) {
+		if d.Regression || d.Change() >= 0 {
+			t.Errorf("rate appearing from zero flagged as regression: %+v", d)
+		}
+	}
+}
+
 func TestLowerIsBetter(t *testing.T) {
 	for unit, want := range map[string]bool{
 		"ns/op": true, "B/op": true, "allocs/op": true,

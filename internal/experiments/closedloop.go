@@ -7,6 +7,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/mux"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/prof"
 	"repro/internal/trace"
 	"repro/internal/traffic"
 )
@@ -42,10 +43,14 @@ func closedLoopSeries(m traffic.Model, c float64, n int, grid []float64, cfg Sim
 		trace.Int("N", n), trace.Float("c", c), trace.Int("reps", cfg.Reps))
 	defer sp.End()
 	ctx := trace.ContextWith(cfg.context(), sp)
+	ctx = prof.WithLabels(ctx, prof.Labels{Model: m.Name()})
 	eng := cfg.engine()
 	s := Series{Label: m.Name()}
 	clrs := make([]float64, cfg.Reps)
 	for _, msec := range grid {
+		// Unlike the coupled sweep, every grid point is its own simulation,
+		// so CPU samples carry the buffer size they were spent on.
+		pctx := prof.WithLabels(ctx, prof.Labels{SweepPoint: fmt.Sprintf("%gmsec", msec)})
 		run := mux.Config{
 			Model:  m,
 			N:      n,
@@ -55,7 +60,7 @@ func closedLoopSeries(m traffic.Model, c float64, n int, grid []float64, cfg Sim
 			Warmup: cfg.Frames / 20,
 			Seed:   cfg.Seed,
 		}
-		results, err := mux.RunReplicationsEngine(ctx, eng, run, cfg.Reps)
+		results, err := mux.RunReplicationsEngine(pctx, eng, run, cfg.Reps)
 		if err != nil {
 			return Series{}, fmt.Errorf("closed-loop %s: %w", m.Name(), err)
 		}

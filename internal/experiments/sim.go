@@ -10,6 +10,7 @@ import (
 	"repro/internal/mux"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/prof"
 	"repro/internal/trace"
 	"repro/internal/traffic"
 )
@@ -49,6 +50,10 @@ func clrSeries(m traffic.Model, c float64, n int, grid []float64, cfg SimConfig)
 		Seed:   cfg.Seed,
 	}
 	ctx := trace.ContextWith(cfg.context(), sp)
+	// Profiling coordinates: every CPU sample taken under this sweep is
+	// attributable to the model and to the coupled pass (all buffer sizes
+	// share one arrival path, so there is no per-point coordinate to name).
+	ctx = prof.WithLabels(ctx, prof.Labels{Model: m.Name(), SweepPoint: "coupled"})
 	byBuffer, err := mux.SweepReplicationsEngine(ctx, cfg.engine(), run, buffers, cfg.Reps)
 	if err != nil {
 		return Series{}, fmt.Errorf("sim %s: %w", m.Name(), err)

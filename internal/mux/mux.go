@@ -32,10 +32,19 @@ import (
 	"repro/internal/runner"
 	"repro/internal/seed"
 	"repro/internal/stats"
+	"repro/internal/telemetry/prof"
 	"repro/internal/trace"
 	"repro/internal/traffic"
 
 	"context"
+)
+
+// Profiling labels for the two execution paths, mirroring the
+// mux_runs_total{path=...} counters: CPU samples inside the chunked
+// drain loops carry path=chunked, the per-frame engine path=stepped.
+var (
+	profChunked = prof.Labels{Path: "chunked"}
+	profStepped = prof.Labels{Path: "stepped"}
 )
 
 // Config describes one finite-buffer simulation replication.
@@ -57,6 +66,12 @@ type Config struct {
 	// under Fill partitioning); only the per-frame overhead differs. Used
 	// by the equivalence tests and the engine benchmarks.
 	ForceStep bool
+	// Ctx, when non-nil, carries pprof profiling labels (figure, model,
+	// sweep point, lane — see internal/telemetry/prof) that Run merges
+	// with its own path label, so CPU samples taken inside the simulation
+	// loops attribute to experiment coordinates. Purely observational,
+	// like Span: never part of seeds, fingerprints or results.
+	Ctx context.Context
 }
 
 // Validate checks the configuration.
@@ -114,49 +129,56 @@ func Run(cfg Config) (Result, error) {
 	}
 	defer eng.release()
 	if eng.closedLoop() || cfg.ForceStep {
-		return runStepped(eng, cfg.Frames, cfg.Warmup, cfg.Span), nil
+		var res Result
+		prof.Do(cfg.Ctx, profStepped, func(context.Context) {
+			res = runStepped(eng, cfg.Frames, cfg.Warmup, cfg.Span)
+		})
+		return res, nil
 	}
 
-	totalC := float64(cfg.N) * cfg.C
-	totalB := float64(cfg.N) * cfg.B
-	var w float64
-	for rem := cfg.Warmup; rem > 0; {
-		n := min(rem, chunkFrames)
-		for _, a := range eng.nextChunk(n) {
-			_, w = lindleyStep(w, a, totalC, totalB)
-		}
-		rem -= n
-	}
-	res := Result{Frames: cfg.Frames, InitialW: w}
-	var sumW float64
-	for rem := cfg.Frames; rem > 0; {
-		n := min(rem, chunkFrames)
-		chunk := eng.nextChunk(n)
-		spDrain := cfg.Span.Child("mux drain", trace.Int("frames", n))
-		stopDrain := metDrainTime.Start()
-		for _, a := range chunk {
-			res.ArrivedCells += a
-			loss, next := lindleyStep(w, a, totalC, totalB)
-			if loss > 0 {
-				res.LostCells += loss
-				res.LossFrames++
+	var res Result
+	prof.Do(cfg.Ctx, profChunked, func(context.Context) {
+		totalC := float64(cfg.N) * cfg.C
+		totalB := float64(cfg.N) * cfg.B
+		var w float64
+		for rem := cfg.Warmup; rem > 0; {
+			n := min(rem, chunkFrames)
+			for _, a := range eng.nextChunk(n) {
+				_, w = lindleyStep(w, a, totalC, totalB)
 			}
-			w = next
-			sumW += w
-			if w > res.MaxWorkload {
-				res.MaxWorkload = w
-			}
+			rem -= n
 		}
-		stopDrain()
-		spDrain.End()
-		metOccupancy.Observe(w)
-		rem -= n
-	}
-	res.FinalW = w
-	res.MeanWorkload = sumW / float64(cfg.Frames)
-	if res.ArrivedCells > 0 {
-		res.CLR = res.LostCells / res.ArrivedCells
-	}
+		res = Result{Frames: cfg.Frames, InitialW: w}
+		var sumW float64
+		for rem := cfg.Frames; rem > 0; {
+			n := min(rem, chunkFrames)
+			chunk := eng.nextChunk(n)
+			spDrain := cfg.Span.Child("mux drain", trace.Int("frames", n))
+			stopDrain := metDrainTime.Start()
+			for _, a := range chunk {
+				res.ArrivedCells += a
+				loss, next := lindleyStep(w, a, totalC, totalB)
+				if loss > 0 {
+					res.LostCells += loss
+					res.LossFrames++
+				}
+				w = next
+				sumW += w
+				if w > res.MaxWorkload {
+					res.MaxWorkload = w
+				}
+			}
+			stopDrain()
+			spDrain.End()
+			metOccupancy.Observe(w)
+			rem -= n
+		}
+		res.FinalW = w
+		res.MeanWorkload = sumW / float64(cfg.Frames)
+		if res.ArrivedCells > 0 {
+			res.CLR = res.LostCells / res.ArrivedCells
+		}
+	})
 	metRuns.Inc()
 	metPathChunked.Inc()
 	metCellsArrived.Add(res.ArrivedCells)
@@ -244,6 +266,7 @@ func RunReplicationsEngine(ctx context.Context, eng *runner.Engine, cfg Config, 
 		c := cfg
 		c.Seed = r.Seed
 		c.Span = trace.FromContext(ctx)
+		c.Ctx = ctx // carries the runner's lane label and the drivers' coordinates
 		res, err := Run(c)
 		if err != nil {
 			return Result{}, err
@@ -281,6 +304,8 @@ type BOPConfig struct {
 	// ForceStep forces the per-frame stepped engine for open-loop sources;
 	// see Config.ForceStep.
 	ForceStep bool
+	// Ctx carries pprof profiling labels; see Config.Ctx.
+	Ctx context.Context
 }
 
 // Validate checks the configuration.
@@ -343,53 +368,57 @@ func RunBOP(cfg BOPConfig) (BOPResult, error) {
 	res := BOPResult{Thresholds: thr}
 
 	if eng.closedLoop() || cfg.ForceStep {
-		for i := 0; i < cfg.Warmup; i++ {
-			eng.Step()
-		}
-		for rem := cfg.Frames; rem > 0; {
-			n := min(rem, chunkFrames)
-			sp := cfg.Span.Child("mux step", trace.Int("frames", n))
-			stopDrain := metDrainTime.Start()
-			for i := 0; i < n; i++ {
-				st := eng.Step()
-				if st.W > res.MaxW {
-					res.MaxW = st.W
-				}
-				countThresholds(st.W, thr, counts)
+		prof.Do(cfg.Ctx, profStepped, func(context.Context) {
+			for i := 0; i < cfg.Warmup; i++ {
+				eng.Step()
 			}
-			stopDrain()
-			sp.End()
-			metOccupancy.Observe(eng.W())
-			rem -= n
-		}
+			for rem := cfg.Frames; rem > 0; {
+				n := min(rem, chunkFrames)
+				sp := cfg.Span.Child("mux step", trace.Int("frames", n))
+				stopDrain := metDrainTime.Start()
+				for i := 0; i < n; i++ {
+					st := eng.Step()
+					if st.W > res.MaxW {
+						res.MaxW = st.W
+					}
+					countThresholds(st.W, thr, counts)
+				}
+				stopDrain()
+				sp.End()
+				metOccupancy.Observe(eng.W())
+				rem -= n
+			}
+		})
 	} else {
-		totalC := float64(cfg.N) * cfg.C
-		inf := math.Inf(1)
-		var w float64
-		for rem := cfg.Warmup; rem > 0; {
-			n := min(rem, chunkFrames)
-			for _, a := range eng.nextChunk(n) {
-				_, w = lindleyStep(w, a, totalC, inf)
-			}
-			rem -= n
-		}
-		for rem := cfg.Frames; rem > 0; {
-			n := min(rem, chunkFrames)
-			chunk := eng.nextChunk(n)
-			spDrain := cfg.Span.Child("mux drain", trace.Int("frames", n))
-			stopDrain := metDrainTime.Start()
-			for _, a := range chunk {
-				_, w = lindleyStep(w, a, totalC, inf)
-				if w > res.MaxW {
-					res.MaxW = w
+		prof.Do(cfg.Ctx, profChunked, func(context.Context) {
+			totalC := float64(cfg.N) * cfg.C
+			inf := math.Inf(1)
+			var w float64
+			for rem := cfg.Warmup; rem > 0; {
+				n := min(rem, chunkFrames)
+				for _, a := range eng.nextChunk(n) {
+					_, w = lindleyStep(w, a, totalC, inf)
 				}
-				countThresholds(w, thr, counts)
+				rem -= n
 			}
-			stopDrain()
-			spDrain.End()
-			metOccupancy.Observe(w)
-			rem -= n
-		}
+			for rem := cfg.Frames; rem > 0; {
+				n := min(rem, chunkFrames)
+				chunk := eng.nextChunk(n)
+				spDrain := cfg.Span.Child("mux drain", trace.Int("frames", n))
+				stopDrain := metDrainTime.Start()
+				for _, a := range chunk {
+					_, w = lindleyStep(w, a, totalC, inf)
+					if w > res.MaxW {
+						res.MaxW = w
+					}
+					countThresholds(w, thr, counts)
+				}
+				stopDrain()
+				spDrain.End()
+				metOccupancy.Observe(w)
+				rem -= n
+			}
+		})
 	}
 	metRuns.Inc()
 	metPathChunked.Inc()
@@ -424,39 +453,43 @@ func SampleWorkload(cfg BOPConfig, every int) ([]float64, error) {
 	out := make([]float64, 0, cfg.Frames/every+1)
 
 	if eng.closedLoop() || cfg.ForceStep {
-		for i := 0; i < cfg.Warmup; i++ {
-			eng.Step()
-		}
-		for frame := 0; frame < cfg.Frames; frame++ {
-			st := eng.Step()
-			if frame%every == 0 {
-				out = append(out, st.W)
+		prof.Do(cfg.Ctx, profStepped, func(context.Context) {
+			for i := 0; i < cfg.Warmup; i++ {
+				eng.Step()
 			}
-		}
+			for frame := 0; frame < cfg.Frames; frame++ {
+				st := eng.Step()
+				if frame%every == 0 {
+					out = append(out, st.W)
+				}
+			}
+		})
 		return out, nil
 	}
 
-	totalC := float64(cfg.N) * cfg.C
-	inf := math.Inf(1)
-	var w float64
-	for rem := cfg.Warmup; rem > 0; {
-		n := min(rem, chunkFrames)
-		for _, a := range eng.nextChunk(n) {
-			_, w = lindleyStep(w, a, totalC, inf)
-		}
-		rem -= n
-	}
-	frame := 0
-	for rem := cfg.Frames; rem > 0; {
-		n := min(rem, chunkFrames)
-		for _, a := range eng.nextChunk(n) {
-			_, w = lindleyStep(w, a, totalC, inf)
-			if frame%every == 0 {
-				out = append(out, w)
+	prof.Do(cfg.Ctx, profChunked, func(context.Context) {
+		totalC := float64(cfg.N) * cfg.C
+		inf := math.Inf(1)
+		var w float64
+		for rem := cfg.Warmup; rem > 0; {
+			n := min(rem, chunkFrames)
+			for _, a := range eng.nextChunk(n) {
+				_, w = lindleyStep(w, a, totalC, inf)
 			}
-			frame++
+			rem -= n
 		}
-		rem -= n
-	}
+		frame := 0
+		for rem := cfg.Frames; rem > 0; {
+			n := min(rem, chunkFrames)
+			for _, a := range eng.nextChunk(n) {
+				_, w = lindleyStep(w, a, totalC, inf)
+				if frame%every == 0 {
+					out = append(out, w)
+				}
+				frame++
+			}
+			rem -= n
+		}
+	})
 	return out, nil
 }

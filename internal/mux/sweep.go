@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/runner"
+	"repro/internal/telemetry/prof"
 	"repro/internal/trace"
 	"repro/internal/traffic"
 )
@@ -58,57 +59,61 @@ func RunSweep(cfg Config, buffersCells []float64) ([]Result, error) {
 		totalB[i] = float64(cfg.N) * b
 	}
 
-	w := make([]float64, len(bs))
-	for rem := cfg.Warmup; rem > 0; {
-		n := min(rem, chunkFrames)
-		for _, a := range ba.next(n) {
-			for j := range w {
-				_, w[j] = lindleyStep(w[j], a, totalC, totalB[j])
-			}
-		}
-		rem -= n
-	}
 	results := make([]Result, len(bs))
-	for j := range results {
-		results[j] = Result{Frames: cfg.Frames, InitialW: w[j]}
-	}
-	sumW := make([]float64, len(bs))
-	for rem := cfg.Frames; rem > 0; {
-		n := min(rem, chunkFrames)
-		chunk := ba.next(n)
-		spDrain := cfg.Span.Child("mux drain", trace.Int("frames", n))
-		stopDrain := metDrainTime.Start()
-		for _, a := range chunk {
-			for j := range w {
-				res := &results[j]
-				res.ArrivedCells += a
-				loss, next := lindleyStep(w[j], a, totalC, totalB[j])
-				if loss > 0 {
-					res.LostCells += loss
-					res.LossFrames++
-				}
-				w[j] = next
-				sumW[j] += w[j]
-				if w[j] > res.MaxWorkload {
-					res.MaxWorkload = w[j]
+	// Coupled sweeps are chunked by construction (closed-loop sources were
+	// rejected above), so the whole pass profiles as path=chunked.
+	prof.Do(cfg.Ctx, profChunked, func(context.Context) {
+		w := make([]float64, len(bs))
+		for rem := cfg.Warmup; rem > 0; {
+			n := min(rem, chunkFrames)
+			for _, a := range ba.next(n) {
+				for j := range w {
+					_, w[j] = lindleyStep(w[j], a, totalC, totalB[j])
 				}
 			}
+			rem -= n
 		}
-		stopDrain()
-		spDrain.End()
-		// One occupancy sample per chunk, from the largest buffer in the
-		// sweep — the recursion whose workload the asymptotics study.
-		metOccupancy.Observe(w[len(w)-1])
-		rem -= n
-	}
-	for j := range results {
-		res := &results[j]
-		res.FinalW = w[j]
-		res.MeanWorkload = sumW[j] / float64(cfg.Frames)
-		if res.ArrivedCells > 0 {
-			res.CLR = res.LostCells / res.ArrivedCells
+		for j := range results {
+			results[j] = Result{Frames: cfg.Frames, InitialW: w[j]}
 		}
-	}
+		sumW := make([]float64, len(bs))
+		for rem := cfg.Frames; rem > 0; {
+			n := min(rem, chunkFrames)
+			chunk := ba.next(n)
+			spDrain := cfg.Span.Child("mux drain", trace.Int("frames", n))
+			stopDrain := metDrainTime.Start()
+			for _, a := range chunk {
+				for j := range w {
+					res := &results[j]
+					res.ArrivedCells += a
+					loss, next := lindleyStep(w[j], a, totalC, totalB[j])
+					if loss > 0 {
+						res.LostCells += loss
+						res.LossFrames++
+					}
+					w[j] = next
+					sumW[j] += w[j]
+					if w[j] > res.MaxWorkload {
+						res.MaxWorkload = w[j]
+					}
+				}
+			}
+			stopDrain()
+			spDrain.End()
+			// One occupancy sample per chunk, from the largest buffer in the
+			// sweep — the recursion whose workload the asymptotics study.
+			metOccupancy.Observe(w[len(w)-1])
+			rem -= n
+		}
+		for j := range results {
+			res := &results[j]
+			res.FinalW = w[j]
+			res.MeanWorkload = sumW[j] / float64(cfg.Frames)
+			if res.ArrivedCells > 0 {
+				res.CLR = res.LostCells / res.ArrivedCells
+			}
+		}
+	})
 	metRuns.Inc()
 	metPathChunked.Inc()
 	if len(results) > 0 {
@@ -160,6 +165,7 @@ func SweepReplicationsEngine(ctx context.Context, eng *runner.Engine, cfg Config
 			c := cfg
 			c.Seed = r.Seed
 			c.Span = trace.FromContext(ctx)
+			c.Ctx = ctx // carries the runner's lane label and the drivers' coordinates
 			res, err := RunSweep(c, buffersCells)
 			if err != nil {
 				return nil, err

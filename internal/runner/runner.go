@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/seed"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/prof"
 	"repro/internal/trace"
 )
 
@@ -315,8 +316,14 @@ func Run[T any](ctx context.Context, e *Engine, spec Spec, fn func(ctx context.C
 				// recorder: a lane whose counter stalls while siblings
 				// advance is a starved or wedged worker. The handle is
 				// fetched once per worker, not per replication.
+				laneStr := strconv.Itoa(lane)
 				laneDone := e.reg.Counter("runner_lane_reps_done_total",
-					telemetry.L("lane", strconv.Itoa(lane)))
+					telemetry.L("lane", laneStr))
+				// The same lane string labels the worker's CPU samples:
+				// every replication runs under prof.Do, so profiles
+				// attribute hot paths to the coordinates stacked on ctx by
+				// the drivers (figure, model, sweep point) plus this lane.
+				laneLabels := prof.Labels{Lane: laneStr}
 				for i := range idxCh {
 					if ctx.Err() != nil {
 						return
@@ -328,7 +335,11 @@ func Run[T any](ctx context.Context, e *Engine, spec Spec, fn func(ctx context.C
 					}
 					sp := parentSpan.Child("replication",
 						trace.Int("rep", i), trace.Int64("seed", rep.Seed)).OnLane(lane)
-					res, err := fn(trace.ContextWith(ctx, sp), rep)
+					var res T
+					var err error
+					prof.Do(trace.ContextWith(ctx, sp), laneLabels, func(repCtx context.Context) {
+						res, err = fn(repCtx, rep)
+					})
 					sp.End()
 					if err != nil {
 						fail(fmt.Errorf("runner: job %q rep %d: %w", spec.ID, i, err))

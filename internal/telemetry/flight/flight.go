@@ -82,6 +82,14 @@ type Options struct {
 	// online evaluation hook. It must not block for long: the next
 	// snapshot waits for it.
 	OnFrame func(cur Frame, prev *Frame)
+	// BeforeSnapshot, when non-nil, runs immediately before each registry
+	// scrape, on the calling goroutine and outside the recorder lock. It
+	// exists for pull-style metric sources that must be polled into the
+	// registry so the frame about to be taken sees fresh values — the
+	// runtime/metrics bridge (internal/telemetry/prof) is the canonical
+	// user. Same contract as OnFrame: cheap, never touches simulation
+	// state.
+	BeforeSnapshot func()
 }
 
 // Recorder periodically snapshots a registry. Create with Start; stop
@@ -172,6 +180,9 @@ func (r *Recorder) loop() {
 // the lock). The ticker calls it once per interval; callers may also
 // invoke it at moments worth pinning (stage boundaries, benchmarks).
 func (r *Recorder) Record() {
+	if r.opts.BeforeSnapshot != nil {
+		r.opts.BeforeSnapshot()
+	}
 	metrics := r.reg.Snapshot()
 
 	r.mu.Lock()

@@ -1,0 +1,146 @@
+// Aggregation over decoded profiles: top-N tables by function and by
+// label, and label-attribution accounting — the answers cmd/profdiff and
+// cmd/obsreport print. All aggregations merge across a slice of profiles
+// (a store holds many periodic CPU windows; the question is about the
+// run, not a window).
+package prof
+
+import "sort"
+
+// FuncTotal is one row of a by-function table. Flat is the value
+// attributed to samples whose leaf frame is this function; Cum counts
+// every sample the function appears anywhere in (each function at most
+// once per sample, so recursion does not double-count).
+type FuncTotal struct {
+	Name string `json:"name"`
+	Flat int64  `json:"flat"`
+	Cum  int64  `json:"cum"`
+}
+
+// TopFunctions merges the given value column across profiles and returns
+// the top n functions by flat value (ties broken by name for
+// determinism), plus the grand total of the column. n <= 0 returns all.
+func TopFunctions(ps []*Profile, valueType string, n int) ([]FuncTotal, int64) {
+	flat := map[string]int64{}
+	cum := map[string]int64{}
+	var total int64
+	for _, p := range ps {
+		idx := p.ValueIndex(valueType)
+		if idx < 0 {
+			continue
+		}
+		for _, s := range p.Samples {
+			if idx >= len(s.Values) {
+				continue
+			}
+			v := s.Values[idx]
+			total += v
+			if len(s.Stack) > 0 {
+				flat[s.Stack[0]] += v
+				seen := map[string]bool{}
+				for _, fn := range s.Stack {
+					if !seen[fn] {
+						seen[fn] = true
+						cum[fn] += v
+					}
+				}
+			} else {
+				flat["(unknown)"] += v
+				cum["(unknown)"] += v
+			}
+		}
+	}
+	rows := make([]FuncTotal, 0, len(cum))
+	for fn, v := range cum {
+		rows = append(rows, FuncTotal{Name: fn, Flat: flat[fn], Cum: v})
+	}
+	// Sorted by flat: zero-flat interior frames rank below every real
+	// leaf, so a top-N cut keeps the functions that actually burn cycles
+	// while cum totals stay available for the rows that survive.
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Flat != rows[j].Flat {
+			return rows[i].Flat > rows[j].Flat
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	if n > 0 && len(rows) > n {
+		rows = rows[:n]
+	}
+	return rows, total
+}
+
+// LabelTotal is one row of a by-label table: the total value carried by
+// samples labelled key=Value.
+type LabelTotal struct {
+	Value string `json:"value"`
+	Total int64  `json:"total"`
+}
+
+// ByLabel merges the given value column grouped by the values of one
+// label key, sorted descending (ties by value name). Returns the rows,
+// the value carried by samples that have the key at all, and the grand
+// total — labeled/total is the attribution fraction for this key.
+func ByLabel(ps []*Profile, key, valueType string) (rows []LabelTotal, labeled, total int64) {
+	byVal := map[string]int64{}
+	for _, p := range ps {
+		idx := p.ValueIndex(valueType)
+		if idx < 0 {
+			continue
+		}
+		for _, s := range p.Samples {
+			if idx >= len(s.Values) {
+				continue
+			}
+			v := s.Values[idx]
+			total += v
+			if lv, ok := s.Labels[key]; ok {
+				byVal[lv] += v
+				labeled += v
+			}
+		}
+	}
+	rows = make([]LabelTotal, 0, len(byVal))
+	for lv, v := range byVal {
+		rows = append(rows, LabelTotal{Value: lv, Total: v})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Total != rows[j].Total {
+			return rows[i].Total > rows[j].Total
+		}
+		return rows[i].Value < rows[j].Value
+	})
+	return rows, labeled, total
+}
+
+// Attribution reports the fraction of the given value column carried by
+// samples labelled with at least one of the keys, and the grand total.
+// This is the quantity the committed CI baseline puts a floor under: if
+// label propagation regresses (a new code path forgets prof.Do), the
+// fraction drops and profdiff -check fails. Zero total reports fraction
+// 1 — an empty CPU window (idle process) attributes nothing and should
+// not trip the floor.
+func Attribution(ps []*Profile, keys []string, valueType string) (fraction float64, labeled, total int64) {
+	for _, p := range ps {
+		idx := p.ValueIndex(valueType)
+		if idx < 0 {
+			continue
+		}
+		for _, s := range p.Samples {
+			if idx >= len(s.Values) {
+				continue
+			}
+			v := s.Values[idx]
+			total += v
+			for _, k := range keys {
+				if _, ok := s.Labels[k]; ok {
+					labeled += v
+					break
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return 1, 0, 0
+	}
+	return float64(labeled) / float64(total), labeled, total
+}

@@ -1,0 +1,201 @@
+// Background collector: periodically captures a CPU window plus
+// point-in-time heap/mutex/block/goroutine snapshots into a Store.
+//
+// The cadence mirrors the flight recorder's loop (ticker + done channel
+// + wait group, reaped by Stop), and the same first constraint applies:
+// collection only reads runtime state — it never touches random streams
+// or simulation buffers, so fixed-seed outputs are bit-identical with
+// the collector on or off. The CPU profiler does add a small sampling
+// overhead while a window is open; the benchdiff gate on the mux hot
+// path bounds it below 1%.
+package prof
+
+import (
+	"bytes"
+	"fmt"
+	"runtime/pprof"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// DefaultCollectInterval is the capture cadence when
+// CollectorOptions.Interval is zero. Profiles are heavier than flight
+// frames, so the default is slower than the recorder's 1 s.
+const DefaultCollectInterval = 15 * time.Second
+
+// minCollectInterval guards against a mistyped flag turning the
+// collector into a busy loop.
+const minCollectInterval = 100 * time.Millisecond
+
+// CollectorOptions parameterises a Collector.
+type CollectorOptions struct {
+	// Dir is the store directory (required).
+	Dir string
+	// Interval is the capture cadence (default DefaultCollectInterval,
+	// clamped to at least 100 ms).
+	Interval time.Duration
+	// CPUWindow is how long each CPU profiling window stays open
+	// (default: half the interval, capped at 10 s). Zero-cost snapshots
+	// (heap, goroutine, ...) are taken when the window closes.
+	CPUWindow time.Duration
+	// MaxSets bounds the store's sliding window (default DefaultMaxSets).
+	MaxSets int
+	// Tool names the producing binary in the store header.
+	Tool string
+	// Registry, when non-nil, receives the collector's self-metrics:
+	// prof_sets_total, prof_errors_total, prof_cpu_windows_skipped_total.
+	Registry *telemetry.Registry
+}
+
+// Collector runs the capture loop. Create with StartCollector; Stop
+// reaps the goroutine, captures one final snapshot set (without a CPU
+// window — stopping should not cost a window's wall time) and closes the
+// store.
+type Collector struct {
+	opts    CollectorOptions
+	w       *StoreWriter
+	t0      time.Time
+	sets    *telemetry.Counter
+	errors  *telemetry.Counter
+	skipped *telemetry.Counter
+
+	err  error
+	done chan struct{}
+	wg   chan struct{} // closed by the loop goroutine on exit
+
+	stopMu  sync.Mutex
+	stopped bool
+}
+
+// StartCollector opens the store and launches the capture loop.
+func StartCollector(opts CollectorOptions) (*Collector, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("prof: collector needs a store dir")
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = DefaultCollectInterval
+	}
+	if opts.Interval < minCollectInterval {
+		opts.Interval = minCollectInterval
+	}
+	if opts.CPUWindow <= 0 {
+		opts.CPUWindow = opts.Interval / 2
+		if opts.CPUWindow > 10*time.Second {
+			opts.CPUWindow = 10 * time.Second
+		}
+	}
+	if opts.CPUWindow > opts.Interval {
+		opts.CPUWindow = opts.Interval
+	}
+	c := &Collector{
+		opts: opts,
+		t0:   time.Now(),
+		done: make(chan struct{}),
+		wg:   make(chan struct{}),
+	}
+	if opts.Registry != nil {
+		c.sets = opts.Registry.Counter("prof_sets_total")
+		c.errors = opts.Registry.Counter("prof_errors_total")
+		c.skipped = opts.Registry.Counter("prof_cpu_windows_skipped_total")
+	}
+	w, err := CreateStore(opts.Dir, StoreHeader{
+		Tool:            opts.Tool,
+		Start:           c.t0.Format(time.RFC3339Nano),
+		IntervalSeconds: opts.Interval.Seconds(),
+		CPUWindow:       opts.CPUWindow.Seconds(),
+	}, opts.MaxSets)
+	if err != nil {
+		return nil, err
+	}
+	c.w = w
+	go c.loop()
+	return c, nil
+}
+
+func (c *Collector) loop() {
+	defer close(c.wg)
+	t := time.NewTicker(c.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-t.C:
+			c.collect(true)
+		}
+	}
+}
+
+// collect captures one set. withCPU opens a CPU window first (the
+// snapshots are taken as it closes, so the set is internally coherent
+// about "the end of this window").
+func (c *Collector) collect(withCPU bool) {
+	profiles := map[string][]byte{}
+	if withCPU {
+		var buf bytes.Buffer
+		// StartCPUProfile fails when a profile is already running — e.g.
+		// an operator hit /debug/pprof/profile on the telemetry endpoint.
+		// That is contention, not corruption: count it, keep the snapshots.
+		if err := pprof.StartCPUProfile(&buf); err != nil {
+			c.inc(c.skipped)
+		} else {
+			select {
+			case <-c.done:
+				// Shutting down mid-window: close the window early and keep
+				// whatever samples it gathered.
+			case <-time.After(c.opts.CPUWindow):
+			}
+			pprof.StopCPUProfile()
+			profiles[KindCPU] = buf.Bytes()
+		}
+	}
+	for _, kind := range []string{KindHeap, KindMutex, KindBlock, KindGoroutine} {
+		p := pprof.Lookup(kind)
+		if p == nil {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := p.WriteTo(&buf, 0); err != nil {
+			c.inc(c.errors)
+			continue
+		}
+		profiles[kind] = buf.Bytes()
+	}
+	if _, err := c.w.WriteSet(time.Since(c.t0).Seconds(), profiles); err != nil {
+		c.inc(c.errors)
+		if c.err == nil {
+			c.err = err
+		}
+		return
+	}
+	c.inc(c.sets)
+}
+
+func (c *Collector) inc(ctr *telemetry.Counter) {
+	if ctr != nil {
+		ctr.Inc()
+	}
+}
+
+// Stop halts the loop, captures a final snapshot set (heap, goroutine,
+// ... — no CPU window), closes the store, and returns the first error.
+func (c *Collector) Stop() error {
+	c.stopMu.Lock()
+	defer c.stopMu.Unlock()
+	if c.stopped {
+		return c.err
+	}
+	c.stopped = true
+	close(c.done)
+	<-c.wg
+	c.collect(false)
+	if err := c.w.Close(); err != nil && c.err == nil {
+		c.err = err
+	}
+	return c.err
+}
+
+// Dir returns the store directory.
+func (c *Collector) Dir() string { return c.opts.Dir }

@@ -1,0 +1,111 @@
+package prof
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// TestCollectorCapturesSets drives a real collector at test cadence: the
+// store must contain at least the periodic set plus the final snapshot
+// set, every profile must decode, and labeled CPU work must be
+// attributable.
+func TestCollectorCapturesSets(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+	c, err := StartCollector(CollectorOptions{
+		Dir:       dir,
+		Interval:  150 * time.Millisecond,
+		CPUWindow: 100 * time.Millisecond,
+		Tool:      "prof-test",
+		Registry:  reg,
+	})
+	if err != nil {
+		t.Fatalf("StartCollector: %v", err)
+	}
+	Do(context.Background(), Labels{Figure: "figC"}, func(context.Context) {
+		spin(400 * time.Millisecond)
+	})
+	if err := c.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	if err := c.Stop(); err != nil {
+		t.Fatalf("second Stop: %v", err)
+	}
+
+	st, err := ReadStore(dir)
+	if err != nil {
+		t.Fatalf("ReadStore: %v", err)
+	}
+	if st.Header.Tool != "prof-test" || st.Header.IntervalSeconds == 0 {
+		t.Errorf("header = %+v", st.Header)
+	}
+	live := st.Live()
+	if len(live) < 2 {
+		t.Fatalf("live sets = %d, want >= 2 (periodic + final)", len(live))
+	}
+	// Final set has no CPU window by contract.
+	if _, hasCPU := live[len(live)-1].Files[KindCPU]; hasCPU {
+		t.Error("final snapshot set should not carry a CPU window")
+	}
+	for _, kind := range []string{KindHeap, KindGoroutine} {
+		ps, err := st.Profiles(kind)
+		if err != nil {
+			t.Fatalf("Profiles(%s): %v", kind, err)
+		}
+		if len(ps) != len(live) {
+			t.Errorf("%s profiles = %d, want %d", kind, len(ps), len(live))
+		}
+	}
+	cpus, err := st.Profiles(KindCPU)
+	if err != nil {
+		t.Fatalf("Profiles(cpu): %v", err)
+	}
+	if len(cpus) == 0 {
+		t.Fatal("no CPU windows captured")
+	}
+	if frac, labeled, total := Attribution(cpus, Keys, "cpu"); total > 0 && labeled == 0 {
+		t.Errorf("no labeled CPU despite labeled spin (frac %v)", frac)
+	}
+
+	// Self-metrics registered and moving.
+	var sets float64
+	for _, s := range reg.Snapshot() {
+		if s.Name == "prof_sets_total" {
+			sets = s.Value
+		}
+	}
+	if sets < 2 {
+		t.Errorf("prof_sets_total = %v, want >= 2", sets)
+	}
+}
+
+// TestCollectorBoundedStore: MaxSets holds under churn.
+func TestCollectorBoundedStore(t *testing.T) {
+	dir := t.TempDir()
+	c, err := StartCollector(CollectorOptions{
+		Dir:       dir,
+		Interval:  100 * time.Millisecond,
+		CPUWindow: 20 * time.Millisecond,
+		MaxSets:   2,
+	})
+	if err != nil {
+		t.Fatalf("StartCollector: %v", err)
+	}
+	time.Sleep(550 * time.Millisecond)
+	if err := c.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	st, err := ReadStore(dir)
+	if err != nil {
+		t.Fatalf("ReadStore: %v", err)
+	}
+	if live := st.Live(); len(live) > 2 {
+		t.Errorf("live sets = %d, want <= 2", len(live))
+	}
+	if len(st.Sets) <= 2 {
+		t.Errorf("index records = %d, want > 2 (evicted history retained)", len(st.Sets))
+	}
+}

@@ -1,0 +1,13 @@
+package prof
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain gates the package on goroutine leaks: every collector started
+// by a test must be fully reaped by Stop before the test exits.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

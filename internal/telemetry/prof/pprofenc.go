@@ -1,0 +1,181 @@
+// Minimal pprof profile encoder — the inverse of pprofpb.go for the same
+// narrow subset. It exists for the tests (round-trip fixtures with known
+// stacks, labels and values, byte-surgery targets for the
+// truncation/corruption contract) and for cmd/profdiff's synthetic
+// regression injection; the production write path is runtime/pprof
+// itself, which this never touches.
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"sort"
+)
+
+// Encode serialises p as a gzipped pprof protobuf decodable by Decode
+// (and by the standard pprof tooling: string table slot 0 is the empty
+// string, ids are 1-based, repeated ints are packed). Deterministic for
+// a given Profile value — the string table is built in encounter order.
+func Encode(p *Profile) []byte {
+	e := &encoder{strs: map[string]int64{"": 0}, tab: []string{""}}
+	var body bytes.Buffer
+
+	for _, st := range p.SampleTypes {
+		body.Write(e.msg(1, e.valueType(st)))
+	}
+
+	// Assign function/location ids: one location per unique function
+	// name, one line per location. Collapsing the stack to named frames
+	// loses addresses, which the aggregator never uses.
+	funcID := map[string]uint64{}
+	var funcs []string
+	for _, s := range p.Samples {
+		for _, fn := range s.Stack {
+			if _, ok := funcID[fn]; !ok {
+				funcID[fn] = uint64(len(funcs) + 1)
+				funcs = append(funcs, fn)
+			}
+		}
+	}
+
+	for _, s := range p.Samples {
+		var sm bytes.Buffer
+		var locs bytes.Buffer
+		for _, fn := range s.Stack {
+			locs.Write(varint(funcID[fn])) // location id == function id
+		}
+		if locs.Len() > 0 {
+			sm.Write(e.msg(1, locs.Bytes()))
+		}
+		var vals bytes.Buffer
+		for _, v := range s.Values {
+			vals.Write(varint(uint64(v)))
+		}
+		if vals.Len() > 0 {
+			sm.Write(e.msg(2, vals.Bytes()))
+		}
+		for _, k := range sortedKeys(s.Labels) {
+			sm.Write(e.msg(3, e.strLabel(k, s.Labels[k])))
+		}
+		for _, k := range sortedKeys(s.NumLabels) {
+			for _, n := range s.NumLabels[k] {
+				sm.Write(e.msg(3, e.numLabel(k, n)))
+			}
+		}
+		body.Write(e.msg(2, sm.Bytes()))
+	}
+
+	for i, fn := range funcs {
+		id := uint64(i + 1)
+		var line bytes.Buffer
+		line.Write(tagVarint(1, id)) // function_id
+		line.Write(tagVarint(2, 1))  // line number (synthetic)
+		var loc bytes.Buffer
+		loc.Write(tagVarint(1, id)) // location id
+		loc.Write(e.msg(4, line.Bytes()))
+		body.Write(e.msg(4, loc.Bytes()))
+
+		var f bytes.Buffer
+		f.Write(tagVarint(1, id))                    // function id
+		f.Write(tagVarint(2, uint64(e.str(fn))))     // name
+		f.Write(tagVarint(3, uint64(e.str(fn))))     // system_name
+		f.Write(tagVarint(4, uint64(e.str("_.go")))) // filename
+		body.Write(e.msg(5, f.Bytes()))
+	}
+
+	if p.TimeNanos != 0 {
+		body.Write(tagVarint(9, uint64(p.TimeNanos)))
+	}
+	if p.DurationNanos != 0 {
+		body.Write(tagVarint(10, uint64(p.DurationNanos)))
+	}
+	if p.PeriodType != (ValueType{}) {
+		body.Write(e.msg(11, e.valueType(p.PeriodType)))
+	}
+	if p.Period != 0 {
+		body.Write(tagVarint(12, uint64(p.Period)))
+	}
+
+	// String table last in construction, but field order within a proto
+	// message is free; append after everything so every string is interned.
+	var out bytes.Buffer
+	out.Write(body.Bytes())
+	for _, s := range e.tab {
+		out.Write(e.msg(6, []byte(s)))
+	}
+
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	zw.Write(out.Bytes())
+	zw.Close()
+	return gz.Bytes()
+}
+
+type encoder struct {
+	strs map[string]int64
+	tab  []string
+}
+
+func (e *encoder) str(s string) int64 {
+	if i, ok := e.strs[s]; ok {
+		return i
+	}
+	i := int64(len(e.tab))
+	e.strs[s] = i
+	e.tab = append(e.tab, s)
+	return i
+}
+
+func (e *encoder) valueType(vt ValueType) []byte {
+	var b bytes.Buffer
+	b.Write(tagVarint(1, uint64(e.str(vt.Type))))
+	b.Write(tagVarint(2, uint64(e.str(vt.Unit))))
+	return b.Bytes()
+}
+
+func (e *encoder) strLabel(k, v string) []byte {
+	var b bytes.Buffer
+	b.Write(tagVarint(1, uint64(e.str(k))))
+	b.Write(tagVarint(2, uint64(e.str(v))))
+	return b.Bytes()
+}
+
+func (e *encoder) numLabel(k string, n int64) []byte {
+	var b bytes.Buffer
+	b.Write(tagVarint(1, uint64(e.str(k))))
+	b.Write(tagVarint(3, uint64(n)))
+	return b.Bytes()
+}
+
+// msg frames payload as a length-delimited field.
+func (e *encoder) msg(num int, payload []byte) []byte {
+	out := varint(uint64(num)<<3 | 2)
+	out = append(out, varint(uint64(len(payload)))...)
+	return append(out, payload...)
+}
+
+// tagVarint frames v as a varint field.
+func tagVarint(num int, v uint64) []byte {
+	out := varint(uint64(num) << 3)
+	return append(out, varint(v)...)
+}
+
+func varint(v uint64) []byte {
+	var out []byte
+	for v >= 0x80 {
+		out = append(out, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(out, byte(v))
+}
+
+// sortedKeys gives map iteration a stable order for the encoder's
+// determinism claim.
+func sortedKeys[M map[string]V, V any](m M) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

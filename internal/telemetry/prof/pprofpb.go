@@ -1,0 +1,536 @@
+// Stdlib-only decoder for the pprof profile.proto wire format — the
+// gzipped protobuf that runtime/pprof writes. Like internal/analysis
+// mirroring go/analysis, this deliberately reimplements the narrow slice
+// of the format the repository needs (sample values, stacks resolved to
+// function names, string/num labels, period and duration metadata)
+// instead of vendoring github.com/google/pprof: no dependencies, and the
+// subset is small enough to keep honest with round-trip tests against
+// profiles produced in-process by runtime/pprof.
+//
+// Field numbers follow profile.proto
+// (https://github.com/google/pprof/blob/main/proto/profile.proto):
+//
+//	Profile:  1 sample_type, 2 sample, 4 location, 5 function,
+//	          6 string_table, 9 time_nanos, 10 duration_nanos,
+//	          11 period_type, 12 period
+//	Sample:   1 location_id (repeated, packed), 2 value (repeated,
+//	          packed), 3 label
+//	Label:    1 key, 2 str, 3 num
+//	Location: 1 id, 4 line
+//	Line:     1 function_id, 2 line
+//	Function: 1 id, 2 name
+//
+// Error contract mirrors the flight log's: a profile cut short by an
+// interrupted writer decodes to ErrTruncated, structurally invalid bytes
+// to ErrCorrupt, and callers (the store reader, profdiff, CI) treat the
+// two differently.
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ErrTruncated marks a profile whose byte stream ends mid-message — the
+// writer died before finishing. Like a torn final flight-log line, this
+// is an interruption artifact, not data corruption.
+var ErrTruncated = errors.New("prof: truncated profile")
+
+// ErrCorrupt marks a profile whose bytes are structurally invalid — bad
+// gzip framing, impossible wire types, out-of-range string indices.
+var ErrCorrupt = errors.New("prof: corrupt profile")
+
+// ValueType names one sample-value column, e.g. {"cpu", "nanoseconds"}
+// or {"inuse_space", "bytes"}.
+type ValueType struct {
+	Type string `json:"type"`
+	Unit string `json:"unit"`
+}
+
+// Sample is one decoded profile sample: a call stack (leaf first,
+// resolved to function names), one value per sample-type column, and the
+// pprof labels attached to the originating goroutine.
+type Sample struct {
+	Stack     []string
+	Values    []int64
+	Labels    map[string]string
+	NumLabels map[string][]int64
+}
+
+// Profile is the decoded subset of a pprof profile.
+type Profile struct {
+	SampleTypes   []ValueType
+	Samples       []Sample
+	TimeNanos     int64
+	DurationNanos int64
+	PeriodType    ValueType
+	Period        int64
+}
+
+// ValueIndex returns the column index of the sample type named typ, or
+// -1 when absent. Use e.g. "cpu" (nanoseconds), "samples" (count),
+// "inuse_space"/"alloc_space" (heap bytes).
+func (p *Profile) ValueIndex(typ string) int {
+	for i, st := range p.SampleTypes {
+		if st.Type == typ {
+			return i
+		}
+	}
+	return -1
+}
+
+// Total sums the given value column across all samples.
+func (p *Profile) Total(idx int) int64 {
+	if idx < 0 {
+		return 0
+	}
+	var t int64
+	for _, s := range p.Samples {
+		if idx < len(s.Values) {
+			t += s.Values[idx]
+		}
+	}
+	return t
+}
+
+// DecodeFile reads and decodes one profile file.
+func DecodeFile(path string) (*Profile, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("prof: read %s: %w", path, err)
+	}
+	p, err := Decode(b)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}
+
+// Decode decodes a pprof profile from raw bytes, transparently
+// un-gzipping (runtime/pprof always gzips; bare protobuf is accepted
+// too). Truncation and corruption decode to ErrTruncated / ErrCorrupt
+// respectively, matched with errors.Is.
+func Decode(data []byte) (*Profile, error) {
+	if len(data) < 2 {
+		// Shorter than even a gzip magic number: a writer that died
+		// immediately, not a malformed profile.
+		return nil, fmt.Errorf("%w: %d bytes", ErrTruncated, len(data))
+	}
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("%w: gzip header: %v", classifyGzipErr(err), err)
+		}
+		raw, err := io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("%w: gzip body: %v", classifyGzipErr(err), err)
+		}
+		if err := zr.Close(); err != nil {
+			return nil, fmt.Errorf("%w: gzip close: %v", classifyGzipErr(err), err)
+		}
+		data = raw
+	}
+	return decodeProfile(data)
+}
+
+// classifyGzipErr maps gzip failures onto the truncation/corruption
+// axis: an unexpected EOF means the writer stopped mid-stream (the file
+// is a prefix of a valid one); checksum/header/flate errors mean the
+// bytes themselves are wrong.
+func classifyGzipErr(err error) error {
+	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+		return ErrTruncated
+	}
+	return ErrCorrupt
+}
+
+// --- protobuf wire reading ---------------------------------------------
+
+// wireBuf is a cursor over protobuf bytes. Decoding errors distinguish
+// running off the end (truncation) from invalid encoding (corruption).
+type wireBuf struct {
+	b []byte
+	i int
+}
+
+func (w *wireBuf) done() bool { return w.i >= len(w.b) }
+
+// varint reads one base-128 varint.
+func (w *wireBuf) varint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		if w.i >= len(w.b) {
+			return 0, ErrTruncated
+		}
+		c := w.b[w.i]
+		w.i++
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, nil
+		}
+		shift += 7
+		if shift >= 64 {
+			return 0, fmt.Errorf("%w: varint overflow", ErrCorrupt)
+		}
+	}
+}
+
+// field reads one tag and its payload. For length-delimited fields the
+// payload bytes are returned; for varint fields the value; fixed32/64
+// are skipped (the pprof schema never uses them, but a skipper keeps
+// forward compatibility with unknown fields).
+func (w *wireBuf) field() (num int, wt int, val uint64, payload []byte, err error) {
+	tag, err := w.varint()
+	if err != nil {
+		return 0, 0, 0, nil, err
+	}
+	num, wt = int(tag>>3), int(tag&7)
+	if num == 0 {
+		return 0, 0, 0, nil, fmt.Errorf("%w: field number 0", ErrCorrupt)
+	}
+	switch wt {
+	case 0: // varint
+		val, err = w.varint()
+		return num, wt, val, nil, err
+	case 1: // fixed64
+		if w.i+8 > len(w.b) {
+			return 0, 0, 0, nil, ErrTruncated
+		}
+		w.i += 8
+		return num, wt, 0, nil, nil
+	case 2: // length-delimited
+		n, err := w.varint()
+		if err != nil {
+			return 0, 0, 0, nil, err
+		}
+		if n > uint64(len(w.b)-w.i) {
+			return 0, 0, 0, nil, ErrTruncated
+		}
+		payload = w.b[w.i : w.i+int(n)]
+		w.i += int(n)
+		return num, wt, 0, payload, nil
+	case 5: // fixed32
+		if w.i+4 > len(w.b) {
+			return 0, 0, 0, nil, ErrTruncated
+		}
+		w.i += 4
+		return num, wt, 0, nil, nil
+	default:
+		return 0, 0, 0, nil, fmt.Errorf("%w: wire type %d", ErrCorrupt, wt)
+	}
+}
+
+// packedInts decodes a repeated-varint payload. The pprof writers pack
+// repeated integer fields; a single unpacked value arrives as wire type
+// 0 and is handled at the call sites.
+func packedInts(payload []byte, out []int64) ([]int64, error) {
+	w := wireBuf{b: payload}
+	for !w.done() {
+		v, err := w.varint()
+		if err != nil {
+			// Truncation inside a length-delimited payload means the
+			// declared length lied about its contents: corruption.
+			return nil, fmt.Errorf("%w: packed int", ErrCorrupt)
+		}
+		out = append(out, int64(v))
+	}
+	return out, nil
+}
+
+func packedUints(payload []byte, out []uint64) ([]uint64, error) {
+	w := wireBuf{b: payload}
+	for !w.done() {
+		v, err := w.varint()
+		if err != nil {
+			return nil, fmt.Errorf("%w: packed uint", ErrCorrupt)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// --- profile message decoding ------------------------------------------
+
+// raw intermediate structures, indices into the string table unresolved.
+type rawValueType struct{ typ, unit int64 }
+
+type rawLabel struct{ key, str, num int64 }
+
+type rawSample struct {
+	locs   []uint64
+	values []int64
+	labels []rawLabel
+}
+
+func decodeProfile(data []byte) (*Profile, error) {
+	var (
+		strtab      []string
+		sampleTypes []rawValueType
+		samples     []rawSample
+		locLine     = map[uint64][]uint64{} // location id -> function ids, leaf line first
+		funcName    = map[uint64]int64{}    // function id -> name string index
+		p           Profile
+		periodType  rawValueType
+	)
+	w := wireBuf{b: data}
+	for !w.done() {
+		num, wt, val, payload, err := w.field()
+		if err != nil {
+			return nil, fmt.Errorf("profile: %w", err)
+		}
+		switch num {
+		case 1: // sample_type
+			vt, err := decodeValueType(payload)
+			if err != nil {
+				return nil, err
+			}
+			sampleTypes = append(sampleTypes, vt)
+		case 2: // sample
+			s, err := decodeSample(payload)
+			if err != nil {
+				return nil, err
+			}
+			samples = append(samples, s)
+		case 4: // location
+			id, fns, err := decodeLocation(payload)
+			if err != nil {
+				return nil, err
+			}
+			locLine[id] = fns
+		case 5: // function
+			id, name, err := decodeFunction(payload)
+			if err != nil {
+				return nil, err
+			}
+			funcName[id] = name
+		case 6: // string_table
+			if wt != 2 {
+				return nil, fmt.Errorf("%w: string_table wire type %d", ErrCorrupt, wt)
+			}
+			strtab = append(strtab, string(payload))
+		case 9:
+			p.TimeNanos = int64(val)
+		case 10:
+			p.DurationNanos = int64(val)
+		case 11:
+			vt, err := decodeValueType(payload)
+			if err != nil {
+				return nil, err
+			}
+			periodType = vt
+		case 12:
+			p.Period = int64(val)
+		default:
+			// Unknown fields (mappings, comments, ...) already consumed.
+		}
+	}
+	str := func(i int64) (string, error) {
+		if i < 0 || i >= int64(len(strtab)) {
+			return "", fmt.Errorf("%w: string index %d outside table of %d", ErrCorrupt, i, len(strtab))
+		}
+		return strtab[i], nil
+	}
+	if len(strtab) == 0 && (len(samples) > 0 || len(sampleTypes) > 0) {
+		return nil, fmt.Errorf("%w: no string table", ErrCorrupt)
+	}
+	for _, vt := range sampleTypes {
+		t, err := str(vt.typ)
+		if err != nil {
+			return nil, err
+		}
+		u, err := str(vt.unit)
+		if err != nil {
+			return nil, err
+		}
+		p.SampleTypes = append(p.SampleTypes, ValueType{Type: t, Unit: u})
+	}
+	if periodType.typ != 0 || periodType.unit != 0 {
+		t, err := str(periodType.typ)
+		if err != nil {
+			return nil, err
+		}
+		u, err := str(periodType.unit)
+		if err != nil {
+			return nil, err
+		}
+		p.PeriodType = ValueType{Type: t, Unit: u}
+	}
+	for _, rs := range samples {
+		s := Sample{Values: rs.values}
+		for _, loc := range rs.locs {
+			for _, fid := range locLine[loc] {
+				if ni, ok := funcName[fid]; ok {
+					name, err := str(ni)
+					if err != nil {
+						return nil, err
+					}
+					s.Stack = append(s.Stack, name)
+				}
+			}
+		}
+		for _, rl := range rs.labels {
+			k, err := str(rl.key)
+			if err != nil {
+				return nil, err
+			}
+			if rl.str != 0 {
+				v, err := str(rl.str)
+				if err != nil {
+					return nil, err
+				}
+				if s.Labels == nil {
+					s.Labels = make(map[string]string)
+				}
+				s.Labels[k] = v
+			} else {
+				if s.NumLabels == nil {
+					s.NumLabels = make(map[string][]int64)
+				}
+				s.NumLabels[k] = append(s.NumLabels[k], rl.num)
+			}
+		}
+		p.Samples = append(p.Samples, s)
+	}
+	return &p, nil
+}
+
+func decodeValueType(payload []byte) (rawValueType, error) {
+	var vt rawValueType
+	w := wireBuf{b: payload}
+	for !w.done() {
+		num, _, val, _, err := w.field()
+		if err != nil {
+			return vt, fmt.Errorf("value_type: %w", corruptInside(err))
+		}
+		switch num {
+		case 1:
+			vt.typ = int64(val)
+		case 2:
+			vt.unit = int64(val)
+		}
+	}
+	return vt, nil
+}
+
+func decodeSample(payload []byte) (rawSample, error) {
+	var s rawSample
+	w := wireBuf{b: payload}
+	for !w.done() {
+		num, wt, val, sub, err := w.field()
+		if err != nil {
+			return s, fmt.Errorf("sample: %w", corruptInside(err))
+		}
+		switch num {
+		case 1: // location_id
+			if wt == 2 {
+				if s.locs, err = packedUints(sub, s.locs); err != nil {
+					return s, err
+				}
+			} else {
+				s.locs = append(s.locs, val)
+			}
+		case 2: // value
+			if wt == 2 {
+				if s.values, err = packedInts(sub, s.values); err != nil {
+					return s, err
+				}
+			} else {
+				s.values = append(s.values, int64(val))
+			}
+		case 3: // label
+			l, err := decodeLabel(sub)
+			if err != nil {
+				return s, err
+			}
+			s.labels = append(s.labels, l)
+		}
+	}
+	return s, nil
+}
+
+func decodeLabel(payload []byte) (rawLabel, error) {
+	var l rawLabel
+	w := wireBuf{b: payload}
+	for !w.done() {
+		num, _, val, _, err := w.field()
+		if err != nil {
+			return l, fmt.Errorf("label: %w", corruptInside(err))
+		}
+		switch num {
+		case 1:
+			l.key = int64(val)
+		case 2:
+			l.str = int64(val)
+		case 3:
+			l.num = int64(val)
+		}
+	}
+	return l, nil
+}
+
+func decodeLocation(payload []byte) (id uint64, fns []uint64, err error) {
+	w := wireBuf{b: payload}
+	for !w.done() {
+		num, _, val, sub, ferr := w.field()
+		if ferr != nil {
+			return 0, nil, fmt.Errorf("location: %w", corruptInside(ferr))
+		}
+		switch num {
+		case 1:
+			id = val
+		case 4: // line
+			fid, lerr := decodeLine(sub)
+			if lerr != nil {
+				return 0, nil, lerr
+			}
+			fns = append(fns, fid)
+		}
+	}
+	return id, fns, nil
+}
+
+func decodeFunction(payload []byte) (id uint64, name int64, err error) {
+	w := wireBuf{b: payload}
+	for !w.done() {
+		num, _, val, _, ferr := w.field()
+		if ferr != nil {
+			return 0, 0, fmt.Errorf("function: %w", corruptInside(ferr))
+		}
+		switch num {
+		case 1:
+			id = val
+		case 2:
+			name = int64(val)
+		}
+	}
+	return id, name, nil
+}
+
+func decodeLine(payload []byte) (funcID uint64, err error) {
+	w := wireBuf{b: payload}
+	for !w.done() {
+		num, _, val, _, ferr := w.field()
+		if ferr != nil {
+			return 0, fmt.Errorf("line: %w", corruptInside(ferr))
+		}
+		if num == 1 {
+			funcID = val
+		}
+	}
+	return funcID, nil
+}
+
+// corruptInside reclassifies ErrTruncated raised inside a
+// length-delimited submessage as corruption: the enclosing length said
+// more bytes were there, so the stream did not simply end early.
+func corruptInside(err error) error {
+	if errors.Is(err, ErrTruncated) {
+		return fmt.Errorf("%w: submessage shorter than declared", ErrCorrupt)
+	}
+	return err
+}

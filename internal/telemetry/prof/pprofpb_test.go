@@ -1,0 +1,286 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"errors"
+	"io"
+	"runtime"
+	"runtime/pprof"
+	"testing"
+	"time"
+)
+
+func mustGunzip(t *testing.T, b []byte) []byte {
+	t.Helper()
+	zr, err := gzip.NewReader(bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("gunzip: %v", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatalf("gunzip read: %v", err)
+	}
+	return raw
+}
+
+// spin burns CPU until the deadline so the profiler has something to
+// sample. The sink defeats dead-code elimination.
+var sink float64
+
+func spin(d time.Duration) {
+	t0 := time.Now()
+	for time.Since(t0) < d {
+		for i := 0; i < 1<<12; i++ {
+			sink += float64(i&7) * 1.000001
+		}
+	}
+}
+
+// TestDecodeRuntimeCPUProfile round-trips a profile produced in-process
+// by runtime/pprof: decoded sample types must include the cpu column,
+// labeled work wrapped in Do must carry the fixed keys, and the labeled
+// portion must sum to no more than the total (attribution arithmetic).
+func TestDecodeRuntimeCPUProfile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		t.Skipf("CPU profiler unavailable: %v", err)
+	}
+	Do(context.Background(), Labels{Figure: "figT", Model: "V", Lane: "1"}, func(context.Context) {
+		spin(300 * time.Millisecond)
+	})
+	spin(50 * time.Millisecond) // unlabeled tail
+	pprof.StopCPUProfile()
+
+	p, err := Decode(buf.Bytes())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	idx := p.ValueIndex("cpu")
+	if idx < 0 {
+		t.Fatalf("no cpu sample type; got %+v", p.SampleTypes)
+	}
+	if p.PeriodType.Type != "cpu" || p.PeriodType.Unit != "nanoseconds" {
+		t.Errorf("period type = %+v, want cpu/nanoseconds", p.PeriodType)
+	}
+	total := p.Total(idx)
+	if total <= 0 {
+		// A loaded CI machine can starve the profiler of samples; the
+		// decode above already exercised the format.
+		t.Skip("profiler gathered no samples")
+	}
+	frac, labeled, _ := Attribution([]*Profile{p}, Keys, "cpu")
+	if labeled <= 0 {
+		t.Fatalf("no labeled samples; attribution %v", frac)
+	}
+	if labeled > total {
+		t.Fatalf("labeled %d > total %d", labeled, total)
+	}
+	rows, lab, tot := ByLabel([]*Profile{p}, KeyFigure, "cpu")
+	if tot != total {
+		t.Errorf("ByLabel total %d != %d", tot, total)
+	}
+	var rowSum int64
+	for _, r := range rows {
+		rowSum += r.Total
+	}
+	if rowSum != lab {
+		t.Errorf("by-label rows sum %d != labeled %d", rowSum, lab)
+	}
+	if len(rows) == 0 || rows[0].Value != "figT" {
+		t.Errorf("figure rows = %+v, want figT first", rows)
+	}
+	// Stacks must resolve to real function names.
+	funcs, _ := TopFunctions([]*Profile{p}, "cpu", 10)
+	if len(funcs) == 0 {
+		t.Fatal("no functions resolved")
+	}
+	foundSpin := false
+	for _, f := range funcs {
+		if f.Name == "repro/internal/telemetry/prof.spin" {
+			foundSpin = true
+		}
+	}
+	if !foundSpin {
+		t.Errorf("spin not in top functions: %+v", funcs)
+	}
+}
+
+// TestDecodeRuntimeHeapProfile decodes the in-process heap profile:
+// alloc_space/inuse_space columns must exist with non-negative totals.
+func TestDecodeRuntimeHeapProfile(t *testing.T) {
+	leak := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		leak = append(leak, make([]byte, 64<<10))
+	}
+	runtime.GC() // heap profile publishes at GC boundaries
+	var buf bytes.Buffer
+	if err := pprof.Lookup("heap").WriteTo(&buf, 0); err != nil {
+		t.Fatalf("heap profile: %v", err)
+	}
+	p, err := Decode(buf.Bytes())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	for _, want := range []string{"alloc_space", "inuse_space", "alloc_objects", "inuse_objects"} {
+		if p.ValueIndex(want) < 0 {
+			t.Errorf("heap profile missing sample type %s (have %+v)", want, p.SampleTypes)
+		}
+	}
+	if tot := p.Total(p.ValueIndex("alloc_space")); tot <= 0 {
+		t.Errorf("alloc_space total = %d, want > 0", tot)
+	}
+	_ = leak
+}
+
+// synthetic returns a small hand-built profile with known values.
+func synthetic() *Profile {
+	return &Profile{
+		SampleTypes: []ValueType{{Type: "samples", Unit: "count"}, {Type: "cpu", Unit: "nanoseconds"}},
+		Samples: []Sample{
+			{Stack: []string{"leafA", "mid", "root"}, Values: []int64{3, 300},
+				Labels: map[string]string{KeyFigure: "fig8", KeyModel: "L"}},
+			{Stack: []string{"leafB", "root"}, Values: []int64{2, 200},
+				Labels: map[string]string{KeyFigure: "fig9"}},
+			{Stack: []string{"leafA", "root"}, Values: []int64{1, 100}},
+		},
+		TimeNanos:     42,
+		DurationNanos: 1e9,
+		PeriodType:    ValueType{Type: "cpu", Unit: "nanoseconds"},
+		Period:        10000000,
+	}
+}
+
+// TestEncodeDecodeRoundTrip: the synthetic profile survives the encoder
+// and decoder with stacks, values, labels and metadata intact, and the
+// aggregations over it are exact.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	want := synthetic()
+	p, err := Decode(Encode(want))
+	if err != nil {
+		t.Fatalf("Decode(Encode): %v", err)
+	}
+	if len(p.Samples) != len(want.Samples) {
+		t.Fatalf("got %d samples, want %d", len(p.Samples), len(want.Samples))
+	}
+	for i, s := range p.Samples {
+		w := want.Samples[i]
+		if len(s.Stack) != len(w.Stack) {
+			t.Fatalf("sample %d stack %v, want %v", i, s.Stack, w.Stack)
+		}
+		for j := range s.Stack {
+			if s.Stack[j] != w.Stack[j] {
+				t.Errorf("sample %d frame %d = %q, want %q", i, j, s.Stack[j], w.Stack[j])
+			}
+		}
+		for j, v := range s.Values {
+			if v != w.Values[j] {
+				t.Errorf("sample %d value %d = %d, want %d", i, j, v, w.Values[j])
+			}
+		}
+		for k, v := range w.Labels {
+			if s.Labels[k] != v {
+				t.Errorf("sample %d label %s = %q, want %q", i, k, s.Labels[k], v)
+			}
+		}
+	}
+	if p.TimeNanos != want.TimeNanos || p.DurationNanos != want.DurationNanos ||
+		p.Period != want.Period || p.PeriodType != want.PeriodType {
+		t.Errorf("metadata = %d/%d/%d/%+v, want %d/%d/%d/%+v",
+			p.TimeNanos, p.DurationNanos, p.Period, p.PeriodType,
+			want.TimeNanos, want.DurationNanos, want.Period, want.PeriodType)
+	}
+
+	// Label attribution sums to the sample total: labeled(600-100=500) of 600.
+	frac, labeled, total := Attribution([]*Profile{p}, Keys, "cpu")
+	if total != 600 || labeled != 500 {
+		t.Errorf("attribution labeled/total = %d/%d, want 500/600", labeled, total)
+	}
+	if frac < 0.8333 || frac > 0.8334 {
+		t.Errorf("attribution fraction = %v, want 5/6", frac)
+	}
+	rows, labeled2, _ := ByLabel([]*Profile{p}, KeyFigure, "cpu")
+	var sum int64
+	for _, r := range rows {
+		sum += r.Total
+	}
+	if sum != labeled2 || sum != 500 {
+		t.Errorf("ByLabel sums = %d (labeled %d), want 500", sum, labeled2)
+	}
+
+	funcs, tot := TopFunctions([]*Profile{p}, "cpu", 0)
+	if tot != 600 {
+		t.Errorf("TopFunctions total = %d, want 600", tot)
+	}
+	byName := map[string]FuncTotal{}
+	for _, f := range funcs {
+		byName[f.Name] = f
+	}
+	if f := byName["leafA"]; f.Flat != 400 || f.Cum != 400 {
+		t.Errorf("leafA flat/cum = %d/%d, want 400/400", f.Flat, f.Cum)
+	}
+	if f := byName["root"]; f.Flat != 0 || f.Cum != 600 {
+		t.Errorf("root flat/cum = %d/%d, want 0/600", f.Flat, f.Cum)
+	}
+	if funcs[0].Name != "leafA" {
+		t.Errorf("top function = %s, want leafA", funcs[0].Name)
+	}
+}
+
+// TestDecodeTruncatedVsCorrupt pins the error contract: a prefix of a
+// valid profile is ErrTruncated (the writer died mid-write, like a torn
+// flight-log line); flipped bytes are ErrCorrupt.
+func TestDecodeTruncatedVsCorrupt(t *testing.T) {
+	full := Encode(synthetic())
+
+	for _, cut := range []int{1, len(full) / 4, len(full) / 2, len(full) - 3} {
+		if _, err := Decode(full[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Errorf("Decode(prefix %d/%d) = %v, want ErrTruncated", cut, len(full), err)
+		}
+	}
+	if _, err := Decode(nil); !errors.Is(err, ErrTruncated) {
+		t.Errorf("Decode(empty) = %v, want ErrTruncated", err)
+	}
+
+	// Flip bytes in the gzip body: checksum or flate structure breaks.
+	corrupt := append([]byte(nil), full...)
+	for i := len(corrupt) / 3; i < len(corrupt)/3+8 && i < len(corrupt); i++ {
+		corrupt[i] ^= 0x5a
+	}
+	if _, err := Decode(corrupt); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Decode(flipped) = %v, want ErrCorrupt", err)
+	}
+
+	// Raw (non-gzip) protobuf garbage: invalid wire structure.
+	if _, err := Decode([]byte{0x07, 0x03, 0xff, 0xff}); !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTruncated) {
+		t.Errorf("Decode(garbage) = %v, want ErrCorrupt or ErrTruncated", err)
+	}
+	// A submessage whose declared length exceeds its content, embedded in
+	// a complete stream, is corruption not truncation: field 2 (sample,
+	// wire 2) declaring 5 bytes but containing a varint field that runs
+	// past them.
+	bad := []byte{0x12, 0x03, 0x08, 0x80, 0x80} // sample{ tag 1 varint unterminated }
+	if _, err := Decode(bad); err == nil {
+		t.Error("Decode(bad submessage) = nil error")
+	}
+}
+
+// TestDecodeRawUncompressed: the decoder accepts bare protobuf (gzip is
+// the transport runtime/pprof uses, not part of the message).
+func TestDecodeRawUncompressed(t *testing.T) {
+	gz := Encode(synthetic())
+	p1, err := Decode(gz)
+	if err != nil {
+		t.Fatalf("gz decode: %v", err)
+	}
+	// Re-extract the raw stream by decoding the gzip layer only.
+	raw := mustGunzip(t, gz)
+	p2, err := Decode(raw)
+	if err != nil {
+		t.Fatalf("raw decode: %v", err)
+	}
+	if len(p1.Samples) != len(p2.Samples) {
+		t.Errorf("raw vs gz sample counts differ: %d vs %d", len(p2.Samples), len(p1.Samples))
+	}
+}

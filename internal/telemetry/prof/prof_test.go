@@ -1,0 +1,89 @@
+package prof
+
+import (
+	"context"
+	"runtime/pprof"
+	"testing"
+)
+
+// TestDoAppliesAndMergesLabels drives the real pprof label machinery:
+// coordinates stacked with WithLabels upstream plus a Do at the
+// innermost point must all be visible on the goroutine, and must be
+// restored afterwards.
+func TestDoAppliesAndMergesLabels(t *testing.T) {
+	ctx := WithLabels(context.Background(), Labels{Figure: "fig8", Model: "L"})
+
+	// Not yet applied: WithLabels only stages them on the context.
+	if v, ok := pprof.Label(ctx, KeyFigure); !ok || v != "fig8" {
+		t.Fatalf("ctx label figure = %q, %v; want fig8", v, ok)
+	}
+
+	ran := false
+	Do(ctx, Labels{Lane: "3", Path: "chunked"}, func(ctx context.Context) {
+		ran = true
+		got := map[string]string{}
+		pprof.ForLabels(ctx, func(k, v string) bool {
+			got[k] = v
+			return true
+		})
+		want := map[string]string{
+			KeyFigure: "fig8", KeyModel: "L", KeyLane: "3", KeyPath: "chunked",
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Errorf("label %s = %q, want %q (all: %v)", k, got[k], v, got)
+			}
+		}
+	})
+	if !ran {
+		t.Fatal("Do did not run f")
+	}
+}
+
+// TestDoEmptyLabelsPassthrough: no fields set means no pprof machinery —
+// the ctx is handed through unchanged.
+func TestDoEmptyLabelsPassthrough(t *testing.T) {
+	type key struct{}
+	ctx := context.WithValue(context.Background(), key{}, "v")
+	Do(ctx, Labels{}, func(got context.Context) {
+		if got != ctx {
+			t.Error("empty Labels should pass ctx through unchanged")
+		}
+	})
+	Do(nil, Labels{}, func(got context.Context) {
+		if got == nil {
+			t.Error("nil ctx should become Background")
+		}
+	})
+}
+
+// TestPairsCoverKeys: every field of Labels maps onto a key in Keys, and
+// empty fields are omitted.
+func TestPairsCoverKeys(t *testing.T) {
+	l := Labels{Figure: "f", SweepPoint: "s", Model: "m", Path: "p", Lane: "l"}
+	p := l.pairs()
+	if len(p) != 2*len(Keys) {
+		t.Fatalf("full Labels yields %d pairs, want %d", len(p)/2, len(Keys))
+	}
+	seen := map[string]bool{}
+	for i := 0; i < len(p); i += 2 {
+		seen[p[i]] = true
+		found := false
+		for _, k := range Keys {
+			if p[i] == k {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("pairs emitted key %q outside the fixed set %v", p[i], Keys)
+		}
+	}
+	for _, k := range Keys {
+		if !seen[k] {
+			t.Errorf("key %q missing from full Labels pairs", k)
+		}
+	}
+	if got := (Labels{Model: "V"}).pairs(); len(got) != 2 || got[0] != KeyModel {
+		t.Errorf("partial Labels pairs = %v, want [model V]", got)
+	}
+}

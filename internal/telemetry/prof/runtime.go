@@ -1,0 +1,190 @@
+// runtime/metrics bridge: polls the Go runtime's metric registry into
+// the repository's telemetry registry, so GC pauses, scheduler latency,
+// heap size and goroutine counts appear in /metrics output, flight
+// frames, and SLO rules exactly like simulation metrics do —
+// p99(go_gc_pause_seconds) < 0.01 and stalled(go_goroutines) are valid
+// rules with this bridge attached.
+//
+// Metric names are probed at construction, not hard-coded: the runtime
+// renamed the GC pause histogram between Go releases
+// (/gc/pauses:seconds → /sched/pauses/total/gc:seconds), and a bridge
+// that asks for an absent name gets KindBad, not an error. Histograms
+// bridge by bucket-count delta — each poll feeds only the counts added
+// since the previous poll into the telemetry histogram (at the bucket's
+// midpoint, via ObserveN), so the telemetry side accumulates the same
+// stream a per-event observer would have seen, within bucket resolution.
+package prof
+
+import (
+	"math"
+	"runtime/metrics"
+
+	"repro/internal/telemetry"
+)
+
+// Bridged metric names on the telemetry side.
+const (
+	MetricGCPause      = "go_gc_pause_seconds"      // histogram
+	MetricSchedLatency = "go_sched_latency_seconds" // histogram
+	MetricGoroutines   = "go_goroutines"            // gauge
+	MetricHeapBytes    = "go_heap_objects_bytes"    // gauge
+	MetricHeapLive     = "go_heap_live_bytes"       // gauge
+	MetricGCCycles     = "go_gc_cycles_total"       // counter
+)
+
+// runtime/metrics names probed, in preference order per bridged metric.
+var (
+	gcPauseNames = []string{"/sched/pauses/total/gc:seconds", "/gc/pauses:seconds"}
+	schedNames   = []string{"/sched/latencies:seconds"}
+	goroNames    = []string{"/sched/goroutines:goroutines"}
+	heapNames    = []string{"/memory/classes/heap/objects:bytes"}
+	liveNames    = []string{"/gc/heap/live:bytes"}
+	cycleNames   = []string{"/gc/cycles/total:gc-cycles"}
+)
+
+// RuntimeBridge polls runtime/metrics into a telemetry.Registry. Poll is
+// not safe for concurrent use; in production it runs as the flight
+// recorder's BeforeSnapshot hook, which serialises on the recorder
+// goroutine (plus the initial and final Record calls, which the recorder
+// also serialises).
+type RuntimeBridge struct {
+	samples []metrics.Sample
+
+	gcPause   *histBridge
+	schedLat  *histBridge
+	goro      *telemetry.Gauge
+	goroIdx   int
+	heap      *telemetry.Gauge
+	heapIdx   int
+	live      *telemetry.Gauge
+	liveIdx   int
+	cycles    *telemetry.Counter
+	cycleIdx  int
+	prevCycle uint64
+}
+
+// histBridge tracks one runtime Float64Histogram and forwards bucket
+// deltas into a telemetry histogram.
+type histBridge struct {
+	idx  int
+	h    *telemetry.Histogram
+	prev []uint64
+}
+
+// NewRuntimeBridge probes the runtime's metric names and registers the
+// bridged instruments. Metrics the running Go version does not expose
+// are silently absent — rules over them evaluate against missing
+// metrics, which the SLO engine already reports.
+func NewRuntimeBridge(reg *telemetry.Registry) *RuntimeBridge {
+	have := map[string]bool{}
+	for _, d := range metrics.All() {
+		have[d.Name] = true
+	}
+	b := &RuntimeBridge{goroIdx: -1, heapIdx: -1, liveIdx: -1, cycleIdx: -1}
+	add := func(names []string) int {
+		for _, n := range names {
+			if have[n] {
+				b.samples = append(b.samples, metrics.Sample{Name: n})
+				return len(b.samples) - 1
+			}
+		}
+		return -1
+	}
+	if i := add(gcPauseNames); i >= 0 {
+		b.gcPause = &histBridge{idx: i, h: reg.Histogram(MetricGCPause)}
+	}
+	if i := add(schedNames); i >= 0 {
+		b.schedLat = &histBridge{idx: i, h: reg.Histogram(MetricSchedLatency)}
+	}
+	if b.goroIdx = add(goroNames); b.goroIdx >= 0 {
+		b.goro = reg.Gauge(MetricGoroutines)
+	}
+	if b.heapIdx = add(heapNames); b.heapIdx >= 0 {
+		b.heap = reg.Gauge(MetricHeapBytes)
+	}
+	if b.liveIdx = add(liveNames); b.liveIdx >= 0 {
+		b.live = reg.Gauge(MetricHeapLive)
+	}
+	if b.cycleIdx = add(cycleNames); b.cycleIdx >= 0 {
+		b.cycles = reg.Counter(MetricGCCycles)
+	}
+	b.Poll() // baseline: histogram deltas start from here, gauges are live immediately
+	return b
+}
+
+// Poll reads the runtime metrics and updates the telemetry instruments.
+func (b *RuntimeBridge) Poll() {
+	if len(b.samples) == 0 {
+		return
+	}
+	metrics.Read(b.samples)
+	if b.gcPause != nil {
+		b.gcPause.feed(b.samples[b.gcPause.idx].Value)
+	}
+	if b.schedLat != nil {
+		b.schedLat.feed(b.samples[b.schedLat.idx].Value)
+	}
+	if b.goro != nil {
+		b.goro.Set(float64(b.samples[b.goroIdx].Value.Uint64()))
+	}
+	if b.heap != nil {
+		b.heap.Set(float64(b.samples[b.heapIdx].Value.Uint64()))
+	}
+	if b.live != nil {
+		b.live.Set(float64(b.samples[b.liveIdx].Value.Uint64()))
+	}
+	if b.cycles != nil {
+		cur := b.samples[b.cycleIdx].Value.Uint64()
+		if cur > b.prevCycle {
+			b.cycles.Add(int64(cur - b.prevCycle))
+		}
+		b.prevCycle = cur
+	}
+}
+
+// feed forwards the counts added since the previous poll, each bucket at
+// its representative value.
+func (hb *histBridge) feed(v metrics.Value) {
+	if v.Kind() != metrics.KindFloat64Histogram {
+		return
+	}
+	h := v.Float64Histogram()
+	if h == nil {
+		return
+	}
+	if hb.prev == nil || len(hb.prev) != len(h.Counts) {
+		hb.prev = make([]uint64, len(h.Counts))
+		copy(hb.prev, h.Counts)
+		return // first sight of this geometry: establish the baseline only
+	}
+	for i, c := range h.Counts {
+		d := int64(c - hb.prev[i])
+		if d > 0 {
+			hb.h.ObserveN(bucketValue(h.Buckets, i), d)
+		}
+		hb.prev[i] = c
+	}
+}
+
+// bucketValue picks a representative value for bucket i of a runtime
+// histogram: the midpoint of its bounds, falling back to the finite edge
+// when the first/last bucket is unbounded. Runtime buckets are dense
+// enough (sub-microsecond resolution for the latency histograms) that
+// midpoint error is far below the telemetry histogram's own 4.4%
+// quantile resolution.
+func bucketValue(buckets []float64, i int) float64 {
+	if len(buckets) < 2 || i+1 >= len(buckets) {
+		return 0
+	}
+	lo, hi := buckets[i], buckets[i+1]
+	switch {
+	case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+		return 0
+	case math.IsInf(lo, -1):
+		return hi
+	case math.IsInf(hi, 1):
+		return lo
+	default:
+		return lo + (hi-lo)/2
+	}
+}

@@ -1,0 +1,104 @@
+package prof
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestRuntimeBridge polls the real runtime: gauges must carry live
+// values, and forcing GC cycles between polls must move the pause
+// histogram and the cycle counter.
+func TestRuntimeBridge(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	b := NewRuntimeBridge(reg)
+
+	for i := 0; i < 3; i++ {
+		runtime.GC()
+	}
+	b.Poll()
+
+	snap := map[string]telemetry.Snapshot{}
+	for _, s := range reg.Snapshot() {
+		snap[s.Name] = s
+	}
+
+	g, ok := snap[MetricGoroutines]
+	if !ok {
+		t.Fatalf("%s not registered", MetricGoroutines)
+	}
+	if g.Kind != telemetry.KindGauge || g.Value < 1 {
+		t.Errorf("%s = %+v, want gauge >= 1", MetricGoroutines, g)
+	}
+	if h, ok := snap[MetricHeapBytes]; !ok || h.Value <= 0 {
+		t.Errorf("%s = %+v, want > 0", MetricHeapBytes, h)
+	}
+	if l, ok := snap[MetricHeapLive]; !ok || l.Value <= 0 {
+		t.Errorf("%s = %+v, want > 0", MetricHeapLive, l)
+	}
+	if c, ok := snap[MetricGCCycles]; !ok || c.Value < 3 {
+		t.Errorf("%s = %+v, want >= 3 after 3 forced GCs", MetricGCCycles, c)
+	}
+	p, ok := snap[MetricGCPause]
+	if !ok {
+		t.Fatalf("%s not registered", MetricGCPause)
+	}
+	if p.Count < 1 {
+		t.Errorf("%s count = %d, want >= 1 pause recorded", MetricGCPause, p.Count)
+	}
+	if p.Count > 0 && (p.P99 <= 0 || p.P99 > 10) {
+		t.Errorf("%s p99 = %v, want a plausible pause duration", MetricGCPause, p.P99)
+	}
+}
+
+// TestRuntimeBridgeDeltaSemantics: a second bridge on a fresh registry
+// starts from a zero baseline — it must not replay the process's entire
+// GC history into the histogram.
+func TestRuntimeBridgeDeltaSemantics(t *testing.T) {
+	runtime.GC() // ensure the process has pause history to NOT replay
+	reg := telemetry.NewRegistry()
+	b := NewRuntimeBridge(reg)
+	var count int64
+	for _, s := range reg.Snapshot() {
+		if s.Name == MetricGCPause {
+			count = s.Count
+		}
+	}
+	if count != 0 {
+		t.Errorf("fresh bridge replayed %d historical pauses", count)
+	}
+	runtime.GC()
+	b.Poll()
+	count = 0
+	for _, s := range reg.Snapshot() {
+		if s.Name == MetricGCPause {
+			count = s.Count
+		}
+	}
+	if count < 1 {
+		t.Errorf("pause after baseline not recorded (count %d)", count)
+	}
+}
+
+// TestObserveN pins the bulk-observe arithmetic against per-event
+// Observe.
+func TestObserveN(t *testing.T) {
+	a := telemetry.NewHistogram()
+	bh := telemetry.NewHistogram()
+	for i := 0; i < 5; i++ {
+		a.Observe(0.25)
+	}
+	a.Observe(2.0)
+	bh.ObserveN(0.25, 5)
+	bh.ObserveN(2.0, 1)
+	bh.ObserveN(3.0, 0)  // no-op
+	bh.ObserveN(4.0, -2) // no-op
+	sa, sb := a.Stats(), bh.Stats()
+	if sa.Count != sb.Count || sa.Sum != sb.Sum || sa.Min != sb.Min || sa.Max != sb.Max { //lint:floateq identical observation streams must produce bit-identical aggregates
+		t.Errorf("ObserveN stats %+v != Observe stats %+v", sb, sa)
+	}
+	if sa.P99 != sb.P99 { //lint:floateq same buckets, same quantile
+		t.Errorf("p99 %v != %v", sb.P99, sa.P99)
+	}
+}

@@ -1,0 +1,289 @@
+// On-disk profile store: a directory holding numbered profile files plus
+// an index.jsonl with the flight log's interrupt-safety contract — one
+// self-describing JSON object per line, flushed per line, torn final
+// line = valid truncation, garbage mid-file = corruption.
+//
+//	DIR/index.jsonl          {"type":"header",...} then {"type":"set",...} lines
+//	DIR/cpu_000001.pb.gz     one gzipped pprof profile per kind per set
+//	DIR/heap_000001.pb.gz    ...
+//
+// The store is bounded: beyond MaxSets, the oldest set's files are
+// deleted while its index line remains — the reader reports such sets as
+// evicted rather than erroring, so a long soak keeps a sliding window of
+// profiles without an unbounded directory.
+package prof
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+
+	"repro/internal/telemetry"
+)
+
+// StoreSchemaVersion identifies the index line shape. Bump on
+// incompatible change; readers reject newer majors.
+const StoreSchemaVersion = 1
+
+// DefaultMaxSets bounds the store when CollectorOptions.MaxSets is zero:
+// at the default collector cadence, over an hour of sliding window.
+const DefaultMaxSets = 256
+
+// Profile kinds a set may carry. CPU windows are sampled profiles over
+// an interval; the rest are point-in-time snapshots. "heap" carries both
+// inuse_* and alloc_* columns (runtime/pprof's combined heap profile),
+// so there is no separate allocs kind.
+const (
+	KindCPU       = "cpu"
+	KindHeap      = "heap"
+	KindMutex     = "mutex"
+	KindBlock     = "block"
+	KindGoroutine = "goroutine"
+)
+
+// StoreHeader identifies a profile store.
+type StoreHeader struct {
+	SchemaVersion   int     `json:"schema_version"`
+	Tool            string  `json:"tool,omitempty"`
+	Start           string  `json:"start"` // RFC3339Nano
+	IntervalSeconds float64 `json:"interval_seconds"`
+	CPUWindow       float64 `json:"cpu_window_seconds"`
+	GoVersion       string  `json:"go_version"`
+	GitRevision     string  `json:"git_revision"`
+}
+
+// SetRecord is one index line: a numbered capture of one or more profile
+// kinds at one moment of the run.
+type SetRecord struct {
+	Seq            int64             `json:"seq"`
+	ElapsedSeconds float64           `json:"elapsed_seconds"`
+	Files          map[string]string `json:"files"` // kind -> filename relative to the store dir
+}
+
+type storeLine struct {
+	Type   string       `json:"type"`
+	Header *StoreHeader `json:"header,omitempty"`
+	Set    *SetRecord   `json:"set,omitempty"`
+}
+
+// StoreWriter appends profile sets to a store directory. The Collector
+// owns one in production; tests construct synthetic stores directly.
+type StoreWriter struct {
+	dir     string
+	f       *os.File
+	bw      *bufio.Writer
+	seq     int64
+	maxSets int
+	live    []SetRecord // sets whose files are still on disk, oldest first
+}
+
+// CreateStore initialises dir (created if needed, existing index
+// truncated) and writes the header line. maxSets <= 0 means
+// DefaultMaxSets.
+func CreateStore(dir string, h StoreHeader, maxSets int) (*StoreWriter, error) {
+	h.SchemaVersion = StoreSchemaVersion
+	if h.GoVersion == "" {
+		h.GoVersion = runtime.Version()
+	}
+	if h.GitRevision == "" {
+		h.GitRevision = telemetry.GitRevision()
+	}
+	if maxSets <= 0 {
+		maxSets = DefaultMaxSets
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("prof: create store dir: %w", err)
+	}
+	f, err := os.Create(filepath.Join(dir, "index.jsonl"))
+	if err != nil {
+		return nil, fmt.Errorf("prof: create store index: %w", err)
+	}
+	w := &StoreWriter{dir: dir, f: f, bw: bufio.NewWriter(f), maxSets: maxSets}
+	if err := w.write(storeLine{Type: "header", Header: &h}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *StoreWriter) write(line storeLine) error {
+	b, err := json.Marshal(line)
+	if err != nil {
+		return fmt.Errorf("prof: encode index line: %w", err)
+	}
+	if _, err := w.bw.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("prof: write index: %w", err)
+	}
+	return w.bw.Flush()
+}
+
+// WriteSet stores one capture: each kind's bytes land in their own file
+// (written and synced before the index line, so a torn index line never
+// references half-written profiles), then the index line is appended and
+// flushed. Eviction of the oldest set keeps the directory bounded.
+func (w *StoreWriter) WriteSet(elapsedSeconds float64, profiles map[string][]byte) (SetRecord, error) {
+	w.seq++
+	rec := SetRecord{Seq: w.seq, ElapsedSeconds: elapsedSeconds, Files: map[string]string{}}
+	for _, kind := range sortedKeys(profiles) {
+		name := fmt.Sprintf("%s_%06d.pb.gz", kind, w.seq)
+		if err := os.WriteFile(filepath.Join(w.dir, name), profiles[kind], 0o644); err != nil {
+			return rec, fmt.Errorf("prof: write %s: %w", name, err)
+		}
+		rec.Files[kind] = name
+	}
+	if err := w.write(storeLine{Type: "set", Set: &rec}); err != nil {
+		return rec, err
+	}
+	w.live = append(w.live, rec)
+	for len(w.live) > w.maxSets {
+		old := w.live[0]
+		w.live = w.live[1:]
+		for _, name := range old.Files {
+			// Best-effort: a file that refuses to delete leaves a slightly
+			// larger window, never a broken store.
+			os.Remove(filepath.Join(w.dir, name))
+		}
+	}
+	return rec, nil
+}
+
+// Close flushes and closes the index.
+func (w *StoreWriter) Close() error {
+	err := w.bw.Flush()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Set is one readable capture in a store.
+type Set struct {
+	SetRecord
+	Evicted bool // files deleted by the sliding window; record retained
+}
+
+// Store is a decoded store index.
+type Store struct {
+	Dir    string
+	Header StoreHeader
+	Sets   []Set
+}
+
+// ReadStore decodes DIR/index.jsonl with the flight log's tolerance: a
+// torn final line is a valid truncation point, garbage followed by more
+// lines is corruption, a missing or newer-major header is an error. Sets
+// whose profile files are gone are marked Evicted, not failed.
+func ReadStore(dir string) (*Store, error) {
+	path := filepath.Join(dir, "index.jsonl")
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("prof: open store index: %w", err)
+	}
+	defer f.Close()
+	st := &Store{Dir: dir}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	lineno := 0
+	sawHeader := false
+	for sc.Scan() {
+		lineno++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var line storeLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			// Same contract as flight.ReadLog: a torn final line is how an
+			// interrupted writer looks; anything followed by more content is
+			// corruption.
+			for sc.Scan() {
+				if len(sc.Bytes()) != 0 {
+					return nil, fmt.Errorf("prof: store index %s line %d: %w", path, lineno, err)
+				}
+			}
+			break
+		}
+		switch line.Type {
+		case "header":
+			if line.Header == nil {
+				return nil, fmt.Errorf("prof: store index %s line %d: empty header", path, lineno)
+			}
+			if line.Header.SchemaVersion > StoreSchemaVersion {
+				return nil, fmt.Errorf("prof: store %s: schema version %d newer than supported %d",
+					dir, line.Header.SchemaVersion, StoreSchemaVersion)
+			}
+			st.Header = *line.Header
+			sawHeader = true
+		case "set":
+			if line.Set == nil {
+				continue
+			}
+			s := Set{SetRecord: *line.Set}
+			for _, name := range s.Files {
+				if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+					s.Evicted = true
+					break
+				}
+			}
+			st.Sets = append(st.Sets, s)
+		default:
+			// Future minor revisions may add line types; skip them.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("prof: read store index %s: %w", path, err)
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("prof: store index %s has no header line", path)
+	}
+	return st, nil
+}
+
+// Live returns the non-evicted sets, oldest first.
+func (s *Store) Live() []Set {
+	out := make([]Set, 0, len(s.Sets))
+	for _, set := range s.Sets {
+		if !set.Evicted {
+			out = append(out, set)
+		}
+	}
+	return out
+}
+
+// Profiles decodes every live profile of one kind, oldest first. A
+// profile that fails to decode fails the whole call — a store with
+// corrupt members should not silently report partial attribution.
+func (s *Store) Profiles(kind string) ([]*Profile, error) {
+	var out []*Profile
+	for _, set := range s.Live() {
+		name, ok := set.Files[kind]
+		if !ok {
+			continue
+		}
+		p, err := DecodeFile(filepath.Join(s.Dir, name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Kinds lists the profile kinds present in live sets, sorted.
+func (s *Store) Kinds() []string {
+	seen := map[string]bool{}
+	for _, set := range s.Live() {
+		for kind := range set.Files {
+			seen[kind] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,171 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTestStore(t *testing.T, dir string, maxSets, nSets int) {
+	t.Helper()
+	w, err := CreateStore(dir, StoreHeader{Tool: "test", Start: "2026-01-01T00:00:00Z"}, maxSets)
+	if err != nil {
+		t.Fatalf("CreateStore: %v", err)
+	}
+	for i := 0; i < nSets; i++ {
+		_, err := w.WriteSet(float64(i), map[string][]byte{
+			KindCPU:  Encode(synthetic()),
+			KindHeap: Encode(synthetic()),
+		})
+		if err != nil {
+			t.Fatalf("WriteSet %d: %v", i, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestStoreRoundTrip: what the writer stores, the reader returns —
+// header, set metadata, decodable profiles.
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	writeTestStore(t, dir, 0, 3)
+	st, err := ReadStore(dir)
+	if err != nil {
+		t.Fatalf("ReadStore: %v", err)
+	}
+	if st.Header.SchemaVersion != StoreSchemaVersion || st.Header.Tool != "test" {
+		t.Errorf("header = %+v", st.Header)
+	}
+	if len(st.Sets) != 3 || len(st.Live()) != 3 {
+		t.Fatalf("sets = %d live %d, want 3/3", len(st.Sets), len(st.Live()))
+	}
+	if got := st.Kinds(); len(got) != 2 || got[0] != KindCPU || got[1] != KindHeap {
+		t.Errorf("kinds = %v, want [cpu heap]", got)
+	}
+	ps, err := st.Profiles(KindCPU)
+	if err != nil {
+		t.Fatalf("Profiles: %v", err)
+	}
+	if len(ps) != 3 {
+		t.Fatalf("decoded %d cpu profiles, want 3", len(ps))
+	}
+	if _, _, total := Attribution(ps, Keys, "cpu"); total != 3*600 {
+		t.Errorf("merged total = %d, want 1800", total)
+	}
+	for i, set := range st.Sets {
+		if set.Seq != int64(i+1) {
+			t.Errorf("set %d seq = %d", i, set.Seq)
+		}
+	}
+}
+
+// TestStoreBounded: beyond MaxSets the oldest files are deleted; their
+// index records remain and read back as Evicted, never as errors.
+func TestStoreBounded(t *testing.T) {
+	dir := t.TempDir()
+	writeTestStore(t, dir, 2, 5)
+	st, err := ReadStore(dir)
+	if err != nil {
+		t.Fatalf("ReadStore: %v", err)
+	}
+	if len(st.Sets) != 5 {
+		t.Fatalf("index records = %d, want 5", len(st.Sets))
+	}
+	live := st.Live()
+	if len(live) != 2 {
+		t.Fatalf("live sets = %d, want 2", len(live))
+	}
+	if live[0].Seq != 4 || live[1].Seq != 5 {
+		t.Errorf("live seqs = %d,%d, want 4,5", live[0].Seq, live[1].Seq)
+	}
+	// Only the window's files remain on disk.
+	ents, _ := os.ReadDir(dir)
+	var pbs int
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".pb.gz") {
+			pbs++
+		}
+	}
+	if pbs != 4 { // 2 sets x 2 kinds
+		t.Errorf("%d profile files on disk, want 4", pbs)
+	}
+	if ps, err := st.Profiles(KindCPU); err != nil || len(ps) != 2 {
+		t.Errorf("Profiles over evicted store: %d, %v", len(ps), err)
+	}
+}
+
+// TestStoreTornFinalLine: an index whose last line was cut mid-write
+// (the interrupted-run signature) still reads, dropping only that line.
+func TestStoreTornFinalLine(t *testing.T) {
+	dir := t.TempDir()
+	writeTestStore(t, dir, 0, 2)
+	path := filepath.Join(dir, "index.jsonl")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)-20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ReadStore(dir)
+	if err != nil {
+		t.Fatalf("ReadStore(torn) = %v, want success", err)
+	}
+	if len(st.Sets) != 1 {
+		t.Errorf("torn store sets = %d, want 1", len(st.Sets))
+	}
+}
+
+// TestStoreCorruptMidFile: garbage followed by more lines is corruption,
+// not truncation — the reader must refuse.
+func TestStoreCorruptMidFile(t *testing.T) {
+	dir := t.TempDir()
+	writeTestStore(t, dir, 0, 2)
+	path := filepath.Join(dir, "index.jsonl")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(b), "\n")
+	lines[1] = "{{{ not json\n"
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadStore(dir); err == nil {
+		t.Fatal("ReadStore(corrupt mid-file) = nil error")
+	}
+}
+
+// TestStoreRejectsNewerSchema mirrors the flight log's forward
+// incompatibility rule.
+func TestStoreRejectsNewerSchema(t *testing.T) {
+	dir := t.TempDir()
+	idx := `{"type":"header","header":{"schema_version":99,"start":"2026-01-01T00:00:00Z"}}` + "\n"
+	if err := os.WriteFile(filepath.Join(dir, "index.jsonl"), []byte(idx), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadStore(dir); err == nil || !strings.Contains(err.Error(), "schema version") {
+		t.Fatalf("ReadStore(newer schema) = %v, want schema version error", err)
+	}
+}
+
+// TestStoreCorruptMember: a live set whose profile bytes are damaged
+// fails Profiles loudly instead of reporting partial attribution.
+func TestStoreCorruptMember(t *testing.T) {
+	dir := t.TempDir()
+	writeTestStore(t, dir, 0, 1)
+	st, err := ReadStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := st.Sets[0].Files[KindCPU]
+	if err := os.WriteFile(filepath.Join(dir, name), []byte("not a profile"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Profiles(KindCPU); err == nil {
+		t.Fatal("Profiles(corrupt member) = nil error")
+	}
+}

@@ -36,3 +36,24 @@ func Same(a, b float64) bool {
 func Label(ctx context.Context) context.Context {
 	return pprof.WithLabels(ctx, pprof.Labels("experiment", "x"))
 }
+
+// Model mimics the traffic generator constructor contract so the
+// seedflow sink detection fires on any NewGenerator(int64) method.
+type Model struct{}
+
+// NewGenerator matches the seed-consuming constructor shape.
+func (Model) NewGenerator(seed int64) int64 { return seed }
+
+// Hardcoded is a seedflow violation: a constant seed handed to a
+// generator constructor in non-test, non-example code.
+func Hardcoded() int64 {
+	var m Model
+	return m.NewGenerator(42)
+}
+
+// Stale carries an expired waiver: the date is in the past, so the
+// waiver is itself a finding and no longer suppresses anything.
+func Stale(a, b float64) bool {
+	//lint:floateq expires=2020-01-01 long-lapsed exception
+	return a != b
+}

@@ -1,0 +1,14 @@
+// Package hot is a declared hot path (see results/golden/escape_budget.json)
+// carrying one heap escape the committed budget does not allow, so the
+// hotalloc gate must fail this module.
+package hot
+
+// Grow heap-allocates: the slice is returned, so escape analysis cannot
+// keep it on the stack.
+func Grow(n int) []int64 {
+	buf := make([]int64, n)
+	for i := range buf {
+		buf[i] = int64(i)
+	}
+	return buf
+}

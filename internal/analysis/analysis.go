@@ -1,7 +1,7 @@
 // Package analysis is the repository's static-analysis framework: a
 // deliberately small, dependency-free mirror of the
 // golang.org/x/tools/go/analysis API (Analyzer, Pass, Diagnostic) plus
-// the seven analyzers that encode this codebase's determinism and
+// the nine analyzers that encode this codebase's determinism and
 // observability invariants. The toolchain image carries no module cache,
 // so rather than vendoring x/tools (~10k files) the framework is built
 // directly on the standard library's go/ast, go/parser and go/types; the
@@ -25,6 +25,15 @@
 //   - proflabels:  runtime/pprof's goroutine-label API called only in
 //     internal/telemetry/prof, and literal label keys drawn only from
 //     the fixed set figure/sweep_point/model/path/lane.
+//   - seedflow:    every seed handed to randx.NewRand or a generator
+//     constructor is data-flow-reachable from internal/seed, a
+//     caller-supplied parameter, a Seed config field or a flag — an
+//     untracked entropy source silently breaks replay determinism.
+//   - hotalloc:    heap-escape sites in the declared hot-path packages
+//     stay within the committed escape budget
+//     (results/golden/escape_budget.json) — a stray allocation in the
+//     mux/fgn/fbndp inner loops costs more than any micro-optimisation
+//     recovers.
 //
 // Waivers: a line comment of the form
 //
@@ -32,7 +41,12 @@
 //
 // on (or immediately above) the offending line suppresses that analyzer
 // there. A waiver without a justification is itself reported, so every
-// exception in the tree carries its reason.
+// exception in the tree carries its reason. A waiver may carry an
+// optional expiry as its first token — //lint:<analyzer>
+// expires=2026-12-31 <justification> — after which it stops suppressing
+// and is itself a finding, so temporary exceptions cannot fossilize.
+// A waiver that names an unknown analyzer, or that suppresses nothing
+// when its analyzer runs, is also a finding (waiver hygiene).
 package analysis
 
 import (
@@ -41,6 +55,7 @@ import (
 	"go/token"
 	"go/types"
 	"strings"
+	"time"
 )
 
 // An Analyzer describes one invariant check. The shape matches
@@ -52,6 +67,33 @@ type Analyzer struct {
 	Doc string
 	// Run applies the analyzer to a single type-checked package.
 	Run func(*Pass) error
+}
+
+// A Resolver gives flow-sensitive analyzers on-demand access to the
+// parsed, type-checked syntax of other packages in the same module, so
+// an intra-procedural analysis can still follow a seed through a helper
+// defined one package over. The Loader implements it; passes run outside
+// a module walk carry a nil Resolver and analyzers degrade gracefully.
+type Resolver interface {
+	Load(path string) (*Package, error)
+}
+
+// RunOptions carries cross-cutting configuration for an analyzer run.
+type RunOptions struct {
+	// Now is the reference time for waiver expiry (//lint:x
+	// expires=YYYY-MM-DD ...). The caller injects it — cmd/repolint and
+	// the test gate pass the wall clock, fixtures pass a pinned date —
+	// so the framework itself stays a pure function of its inputs. A
+	// zero Now disables expiry checking.
+	Now time.Time
+	// Known is the set of analyzer names waivers may legally reference.
+	// Nil means the registered suite (Names()).
+	Known map[string]bool
+	// Resolver provides cross-package syntax for flow analyses.
+	Resolver Resolver
+	// ModuleDir is the module root, used by analyzers that consult
+	// per-module artifacts (the hotalloc escape budget).
+	ModuleDir string
 }
 
 // A Pass provides one analyzer with one type-checked package and a sink
@@ -69,8 +111,13 @@ type Pass struct {
 	// import path, so fixture modules exercise the same rules.
 	RelPath string
 
+	// Resolver and ModuleDir mirror RunOptions for analyzers that need
+	// them; either may be zero when a pass runs standalone.
+	Resolver  Resolver
+	ModuleDir string
+
 	report  func(Diagnostic)
-	waivers map[waiverKey][]string // (file,line) -> analyzer names waived
+	waivers *waiverSet
 }
 
 type waiverKey struct {
@@ -92,8 +139,14 @@ func (d Diagnostic) String() string {
 // Reportf records a diagnostic at pos unless a //lint:<name> waiver
 // covers the position's line (or the line above it).
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	position := p.Fset.Position(pos)
-	if p.waivedAt(position) {
+	p.ReportPosf(p.Fset.Position(pos), format, args...)
+}
+
+// ReportPosf is Reportf for analyzers whose findings originate outside
+// the fileset — hotalloc's positions come from compiler diagnostics, not
+// AST nodes. Waivers apply identically.
+func (p *Pass) ReportPosf(position token.Position, format string, args ...any) {
+	if p.waivers.waivedAt(p.Analyzer.Name, position) {
 		return
 	}
 	p.report(Diagnostic{
@@ -103,10 +156,27 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-func (p *Pass) waivedAt(pos token.Position) bool {
+// waiverRecord is one registered (justified, unexpired) waiver comment.
+type waiverRecord struct {
+	name string
+	pos  token.Position
+	used bool
+}
+
+// waiverSet indexes a package's waivers and tracks which ones actually
+// suppressed a diagnostic, so RunAnalyzers can flag dead ones.
+type waiverSet struct {
+	byLine map[waiverKey][]*waiverRecord
+	all    []*waiverRecord
+}
+
+// waivedAt reports (and records) whether a waiver for analyzer name
+// covers the position's line or the line above it.
+func (ws *waiverSet) waivedAt(name string, pos token.Position) bool {
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		for _, name := range p.waivers[waiverKey{pos.Filename, line}] {
-			if name == p.Analyzer.Name {
+		for _, rec := range ws.byLine[waiverKey{pos.Filename, line}] {
+			if rec.name == name {
+				rec.used = true
 				return true
 			}
 		}
@@ -117,11 +187,24 @@ func (p *Pass) waivedAt(pos token.Position) bool {
 // waiverPrefix introduces a suppression comment: //lint:<analyzer> <why>.
 const waiverPrefix = "//lint:"
 
+// waiverExpiresPrefix introduces the optional expiry token.
+const waiverExpiresPrefix = "expires="
+
 // collectWaivers indexes every //lint: comment by (file, line) and
-// reports bare waivers that carry no justification — an exception the
-// author couldn't explain is not an exception.
-func collectWaivers(fset *token.FileSet, files []*ast.File, report func(Diagnostic)) map[waiverKey][]string {
-	waivers := make(map[waiverKey][]string)
+// reports the hygiene violations visible at parse time: bare waivers
+// with no justification (an exception the author couldn't explain is not
+// an exception), waivers naming an analyzer that doesn't exist (a typo'd
+// waiver suppresses nothing and hides the author's intent), malformed
+// expiry dates, and expired waivers. An expired waiver is not
+// registered, so the finding it used to suppress resurfaces next to the
+// expiry report — the suppression has to be re-justified or the code
+// fixed.
+func collectWaivers(fset *token.FileSet, files []*ast.File, opts RunOptions, report func(Diagnostic)) *waiverSet {
+	known := opts.Known
+	if known == nil {
+		known = Names()
+	}
+	ws := &waiverSet{byLine: make(map[waiverKey][]*waiverRecord)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -130,8 +213,31 @@ func collectWaivers(fset *token.FileSet, files []*ast.File, report func(Diagnost
 				}
 				rest := strings.TrimPrefix(c.Text, waiverPrefix)
 				name, why, _ := strings.Cut(rest, " ")
+				why = strings.TrimSpace(why)
 				pos := fset.Position(c.Pos())
-				if name == "" || strings.TrimSpace(why) == "" {
+				if tok, tail, _ := strings.Cut(why, " "); strings.HasPrefix(tok, waiverExpiresPrefix) {
+					date := strings.TrimPrefix(tok, waiverExpiresPrefix)
+					why = strings.TrimSpace(tail)
+					exp, err := time.Parse("2006-01-02", date)
+					if err != nil {
+						report(Diagnostic{
+							Analyzer: "waiver",
+							Pos:      pos,
+							Message:  fmt.Sprintf("//lint:%s waiver has malformed expiry %q: want expires=YYYY-MM-DD", name, date),
+						})
+						continue
+					}
+					if !opts.Now.IsZero() && exp.Before(opts.Now.Truncate(24*time.Hour)) {
+						report(Diagnostic{
+							Analyzer: "waiver",
+							Pos:      pos,
+							Message: fmt.Sprintf("//lint:%s waiver expired %s; re-justify it with a new expiry or fix the finding it suppressed",
+								name, date),
+						})
+						continue
+					}
+				}
+				if name == "" || why == "" {
 					report(Diagnostic{
 						Analyzer: "waiver",
 						Pos:      pos,
@@ -139,12 +245,37 @@ func collectWaivers(fset *token.FileSet, files []*ast.File, report func(Diagnost
 					})
 					continue
 				}
+				if !known[name] {
+					report(Diagnostic{
+						Analyzer: "waiver",
+						Pos:      pos,
+						Message:  fmt.Sprintf("//lint:%s waiver names an unknown analyzer; registered: %s", name, strings.Join(sortedNames(known), ", ")),
+					})
+					continue
+				}
+				rec := &waiverRecord{name: name, pos: pos}
 				k := waiverKey{pos.Filename, pos.Line}
-				waivers[k] = append(waivers[k], name)
+				ws.byLine[k] = append(ws.byLine[k], rec)
+				ws.all = append(ws.all, rec)
 			}
 		}
 	}
-	return waivers
+	return ws
+}
+
+// reportUnused flags registered waivers for analyzers that ran but never
+// suppressed anything — a dead waiver either outlived the code it
+// excused or never matched it, and both hide drift.
+func (ws *waiverSet) reportUnused(ran map[string]bool, report func(Diagnostic)) {
+	for _, rec := range ws.all {
+		if !rec.used && ran[rec.name] {
+			report(Diagnostic{
+				Analyzer: "waiver",
+				Pos:      rec.pos,
+				Message:  fmt.Sprintf("//lint:%s waiver suppresses nothing; remove it (or move it onto the offending line)", rec.name),
+			})
+		}
+	}
 }
 
 // pathAllowed reports whether the module-relative package path rel falls

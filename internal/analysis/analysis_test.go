@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/analysis"
 )
@@ -39,10 +40,12 @@ func moduleRoot(t *testing.T) string {
 	}
 }
 
-// TestSuiteRegistersSevenAnalyzers pins the suite's contents: DESIGN.md
-// §11 documents exactly these seven invariants.
-func TestSuiteRegistersSevenAnalyzers(t *testing.T) {
-	want := []string{"rngsource", "walltime", "maporder", "printguard", "floateq", "pprofimport", "proflabels"}
+// TestSuiteRegistersNineAnalyzers pins the suite's contents: DESIGN.md
+// §11 documents exactly these nine invariants. This list is the single
+// source of truth for the suite contract; cmd/repolint's tests derive
+// their expectations from analysis.All() rather than repeating it.
+func TestSuiteRegistersNineAnalyzers(t *testing.T) {
+	want := []string{"rngsource", "walltime", "maporder", "printguard", "floateq", "pprofimport", "proflabels", "seedflow", "hotalloc"}
 	all := analysis.All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
@@ -65,11 +68,23 @@ func TestRepositoryIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("whole-module lint skipped in -short")
 	}
-	diags, err := analysis.LintModule(moduleRoot(t), analysis.All())
+	diags, err := analysis.LintModuleWith(moduleRoot(t), analysis.All(),
+		analysis.RunOptions{Now: time.Now()})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, d := range diags {
 		t.Errorf("%s", d)
+	}
+}
+
+// TestByName pins the -run subset resolution including its error shape.
+func TestByName(t *testing.T) {
+	got, err := analysis.ByName("seedflow", "hotalloc")
+	if err != nil || len(got) != 2 || got[0].Name != "seedflow" || got[1].Name != "hotalloc" {
+		t.Fatalf("ByName(seedflow, hotalloc) = %v, %v", got, err)
+	}
+	if _, err := analysis.ByName("nosuch"); err == nil {
+		t.Fatal("ByName(nosuch) succeeded, want error")
 	}
 }

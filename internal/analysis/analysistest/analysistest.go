@@ -20,31 +20,20 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
 	"testing"
 
 	"repro/internal/analysis"
 )
 
-// loaders caches one Loader per fixture module so the `go list -export`
-// walk runs once per module per test binary, not once per analyzer.
-var loaders = struct {
-	sync.Mutex
-	m map[string]*analysis.Loader
-}{m: make(map[string]*analysis.Loader)}
-
+// loaderFor resolves the fixture module through the process-wide shared
+// loader cache, so the `go list -export` walk and each package's
+// type-check run once per module per test binary, not once per analyzer.
 func loaderFor(t *testing.T, dir string) *analysis.Loader {
 	t.Helper()
-	loaders.Lock()
-	defer loaders.Unlock()
-	if l, ok := loaders.m[dir]; ok {
-		return l
-	}
-	l, err := analysis.NewLoader(dir)
+	l, err := analysis.SharedLoader(dir)
 	if err != nil {
 		t.Fatalf("loading fixture module %s: %v", dir, err)
 	}
-	loaders.m[dir] = l
 	return l
 }
 
@@ -62,7 +51,10 @@ func Run(t *testing.T, moduleDir string, a *analysis.Analyzer, pkgPaths ...strin
 			t.Errorf("loading %s: %v", path, err)
 			continue
 		}
-		diags, err := analysis.RunAnalyzers(pkg, l.Fset, []*analysis.Analyzer{a})
+		// No expiry clock: fixture waiver expiry is covered by unit tests
+		// with pinned dates so fixtures never rot as the calendar advances.
+		opts := analysis.RunOptions{Resolver: l, ModuleDir: l.Dir}
+		diags, err := analysis.RunAnalyzers(pkg, l.Fset, []*analysis.Analyzer{a}, opts)
 		if err != nil {
 			t.Errorf("running %s on %s: %v", a.Name, path, err)
 			continue

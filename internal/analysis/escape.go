@@ -1,0 +1,333 @@
+package analysis
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// This file is the escape-analysis side of the hotalloc gate: it runs
+// the compiler's escape analysis (`go build -gcflags=-m=2`) over the
+// declared hot-path packages of a module, parses the diagnostics into a
+// typed model, and loads/saves the committed escape budget the analyzer
+// diffs against.
+//
+// The runner leans on the go build cache for its own caching: the go
+// command replays a cached package's compiler diagnostics verbatim on
+// rebuild, so repeat invocations cost a cache probe, not a compile. On
+// top of that a process-level memo keyed by module root ensures the
+// build runs at most once per lint process no matter how many packages'
+// passes consult it.
+
+// An EscapeSite is one heap allocation the compiler could not prove
+// stack-safe, attributed to a position in a hot-path package.
+type EscapeSite struct {
+	// File is the module-relative source path.
+	File string
+	// Line, Col locate the allocating expression.
+	Line, Col int
+	// Message is the compiler's normalized diagnostic, e.g.
+	// "&Mux{...} escapes to heap" or "moved to heap: buf".
+	Message string
+	// Detail holds the -m=2 flow explanation lines ("flow: ...",
+	// "from ... at ..."), indentation-stripped.
+	Detail []string
+}
+
+// escapeKey dedupes compiler output: -m=2 frequently emits the same
+// site once with flow detail and once without.
+type escapeKey struct {
+	file      string
+	line, col int
+	msg       string
+}
+
+// EscapeBudget is the committed allocation baseline for a module's hot
+// paths (results/golden/escape_budget.json).
+type EscapeBudget struct {
+	// Schema versions the file format.
+	Schema int `json:"schema"`
+	// Go records the toolchain the budget was generated with. Escape
+	// analysis results shift between compiler releases; the field is
+	// informational so a version-skew diff is explainable at a glance.
+	Go string `json:"go"`
+	// HotPaths lists the module-relative package paths under budget.
+	HotPaths []string `json:"hot_paths"`
+	// Budgets maps package -> function -> normalized message -> count.
+	Budgets map[string]map[string]map[string]int `json:"budgets"`
+}
+
+// escapeBudgetPath is where a module commits its budget, relative to the
+// module root. Absence of the file disables hotalloc for that module.
+const escapeBudgetPath = "results/golden/escape_budget.json"
+
+// DefaultHotPaths is the hot-path set for this repository: the packages
+// the figure pipelines spend their inner loops in. Fixture modules and
+// regenerated budgets declare their own set in the budget file.
+var DefaultHotPaths = []string{"internal/mux", "internal/fgn", "internal/fbndp", "internal/telemetry"}
+
+// LoadEscapeBudget reads a module's committed budget. A missing file
+// returns (nil, nil): hot-path budgeting is opt-in per module.
+func LoadEscapeBudget(moduleDir string) (*EscapeBudget, error) {
+	data, err := os.ReadFile(filepath.Join(moduleDir, escapeBudgetPath))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b EscapeBudget
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %v", escapeBudgetPath, err)
+	}
+	return &b, nil
+}
+
+// WriteEscapeBudget commits a budget, stably formatted for reviewable
+// diffs.
+func WriteEscapeBudget(moduleDir string, b *EscapeBudget) error {
+	path := filepath.Join(moduleDir, escapeBudgetPath)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// escapeRuns memoizes ParseEscapes per module root for the process
+// lifetime (the underlying go build is itself cache-replayed, so this
+// only saves the exec round-trips).
+var escapeRuns = struct {
+	sync.Mutex
+	m map[string]*escapeRun
+}{m: make(map[string]*escapeRun)}
+
+type escapeRun struct {
+	sites map[string][]EscapeSite // module-relative package path -> sites
+	err   error
+}
+
+// HotPathEscapes returns the escape sites of the given hot-path packages
+// of the module rooted at moduleDir, grouped by module-relative package
+// path. Results are cached per (module, hot-path set) for the process.
+func HotPathEscapes(moduleDir string, hotPaths []string) (map[string][]EscapeSite, error) {
+	key := moduleDir + "\x00" + strings.Join(hotPaths, "\x00")
+	escapeRuns.Lock()
+	run, ok := escapeRuns.m[key]
+	escapeRuns.Unlock()
+	if ok {
+		return run.sites, run.err
+	}
+	sites, err := runEscapeAnalysis(moduleDir, hotPaths)
+	escapeRuns.Lock()
+	escapeRuns.m[key] = &escapeRun{sites: sites, err: err}
+	escapeRuns.Unlock()
+	return sites, err
+}
+
+func runEscapeAnalysis(moduleDir string, hotPaths []string) (map[string][]EscapeSite, error) {
+	if len(hotPaths) == 0 {
+		return map[string][]EscapeSite{}, nil
+	}
+	args := []string{"build", "-gcflags=-m=2"}
+	for _, p := range hotPaths {
+		args = append(args, "./"+filepath.ToSlash(p))
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %s in %s: %v\n%s", strings.Join(args, " "), moduleDir, err, stderr.String())
+	}
+	sites := ParseEscapes(stderr.String(), moduleDir)
+	grouped := make(map[string][]EscapeSite, len(hotPaths))
+	for _, p := range hotPaths {
+		grouped[filepath.ToSlash(p)] = nil
+	}
+	for _, s := range sites {
+		pkg := filepath.ToSlash(filepath.Dir(s.File))
+		if _, ok := grouped[pkg]; ok {
+			grouped[pkg] = append(grouped[pkg], s)
+		}
+	}
+	return grouped, nil
+}
+
+// GoVersion reports the toolchain version string ("go1.24.0") for budget
+// stamping.
+func GoVersion() string {
+	return runtime.Version()
+}
+
+// BuildEscapeBudget computes a fresh budget for the module's hot paths:
+// the current escape sites, attributed to their enclosing functions and
+// counted per (package, function, message). This is what
+// `repolint -write-escape-budget` commits.
+func BuildEscapeBudget(moduleDir string, hotPaths []string) (*EscapeBudget, error) {
+	escapes, err := HotPathEscapes(moduleDir, hotPaths)
+	if err != nil {
+		return nil, err
+	}
+	l, err := SharedLoader(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	budget := &EscapeBudget{
+		Schema:   1,
+		Go:       GoVersion(),
+		HotPaths: append([]string(nil), hotPaths...),
+		Budgets:  make(map[string]map[string]map[string]int),
+	}
+	for _, rel := range hotPaths {
+		rel = filepath.ToSlash(rel)
+		path := l.Module
+		if rel != "" {
+			path = l.Module + "/" + rel
+		}
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		fns := make(map[string]map[string]int)
+		for _, s := range escapes[rel] {
+			fn := enclosingFuncIn(l.Fset, pkg.Files, s)
+			if fns[fn] == nil {
+				fns[fn] = make(map[string]int)
+			}
+			fns[fn][s.Message]++
+		}
+		budget.Budgets[rel] = fns
+	}
+	return budget, nil
+}
+
+// ParseEscapes extracts heap-escape sites from `go build -gcflags=-m=2`
+// stderr. Lines look like:
+//
+//	hot/hot.go:9:13: make([]int64, n) escapes to heap:
+//	hot/hot.go:9:13:   flow: {heap} = &{storage for make([]int64, n)}:
+//	hot/hot.go:9:13:     from make([]int64, n) (non-constant size) at hot/hot.go:9:13
+//	hot/hot.go:9:13: make([]int64, n) escapes to heap
+//
+// The flow explanation repeats the site's position with extra
+// indentation after the colon, and the site itself is emitted twice
+// (once opening the flow block, once plain) — detail lines attach to the
+// current site and duplicates dedupe by position+message. Inlining
+// notes, "does not escape" and "leaking param" lines are ignored: the
+// budget tracks what actually lands on the heap. Positions may be
+// absolute or moduleDir-relative depending on how the build was invoked;
+// both normalize to module-relative slash paths.
+func ParseEscapes(out, moduleDir string) []EscapeSite {
+	var sites []EscapeSite
+	seen := make(map[escapeKey]int) // -> index into sites
+	var cur *EscapeSite
+	sc := bufio.NewScanner(strings.NewReader(out))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		file, lineNo, col, msg, ok := splitDiag(line)
+		if !ok {
+			cur = nil
+			continue
+		}
+		rel := relToModule(file, moduleDir)
+		if msg != "" && (msg[0] == ' ' || msg[0] == '\t') {
+			// Indented continuation: the -m=2 flow explanation for the
+			// site opened on a previous line at the same position.
+			if cur != nil && cur.File == rel && cur.Line == lineNo && cur.Col == col {
+				cur.Detail = append(cur.Detail, strings.TrimSpace(msg))
+			}
+			continue
+		}
+		cur = nil
+		if !isHeapEscape(msg) {
+			continue
+		}
+		msg = strings.TrimSuffix(msg, ":")
+		k := escapeKey{rel, lineNo, col, msg}
+		if i, dup := seen[k]; dup {
+			cur = &sites[i]
+			continue
+		}
+		sites = append(sites, EscapeSite{File: rel, Line: lineNo, Col: col, Message: msg})
+		seen[k] = len(sites) - 1
+		cur = &sites[len(sites)-1]
+	}
+	sort.Slice(sites, func(i, j int) bool {
+		a, b := sites[i], sites[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	})
+	return sites
+}
+
+// isHeapEscape keeps only diagnostics that put bytes on the heap.
+func isHeapEscape(msg string) bool {
+	if strings.Contains(msg, "does not escape") {
+		return false
+	}
+	return strings.Contains(msg, "escapes to heap") || strings.HasPrefix(msg, "moved to heap")
+}
+
+// splitDiag parses "file.go:LINE:COL: message", preserving the
+// message's leading indentation (it distinguishes -m=2 flow-detail
+// continuations from fresh diagnostics).
+func splitDiag(line string) (file string, lineNo, col int, msg string, ok bool) {
+	i := strings.Index(line, ".go:")
+	if i < 0 {
+		return "", 0, 0, "", false
+	}
+	file = line[:i+3]
+	rest := line[i+4:]
+	lineNo, rest, ok = cutInt(rest, ':')
+	if !ok {
+		return "", 0, 0, "", false
+	}
+	if col, msg, ok = cutInt(rest, ':'); !ok {
+		col, msg = 0, rest // column-less form "file.go:12: msg"
+	}
+	// One space separates position from message; anything beyond it is
+	// the compiler's own indentation and stays in msg.
+	msg = strings.TrimPrefix(msg, " ")
+	return file, lineNo, col, msg, true
+}
+
+// cutInt splits "123<sep>rest", failing unless s starts with digits
+// immediately followed by sep.
+func cutInt(s string, sep byte) (n int, rest string, ok bool) {
+	i := 0
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		n = n*10 + int(s[i]-'0')
+		i++
+	}
+	if i == 0 || i >= len(s) || s[i] != sep {
+		return 0, s, false
+	}
+	return n, s[i+1:], true
+}
+
+func relToModule(file, moduleDir string) string {
+	if filepath.IsAbs(file) {
+		if rel, err := filepath.Rel(moduleDir, file); err == nil {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(file)
+}

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// HotAlloc is the escape/allocation budget gate. For every package in
+// the module's declared hot-path set it diffs the compiler's current
+// heap-escape sites (via `go build -gcflags=-m=2`, cache-replayed by the
+// go build cache) against the committed budget in
+// results/golden/escape_budget.json. A new escape message in a hot
+// function — or more instances of a budgeted one — is a finding carrying
+// the compiler's own flow explanation, so an allocation regression in
+// the mux/fgn/fbndp inner loops fails lint BEFORE anyone runs a
+// benchmark. Escapes that disappear are silently fine: the budget is an
+// upper bound, and shrinking it is a follow-up `repolint
+// -write-escape-budget`, not a blocker.
+//
+// Modules without a committed budget (fixture modules that don't opt in,
+// fresh checkouts mid-bootstrap) skip the gate entirely.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "diffs heap-escape sites in the declared hot-path packages against the committed " +
+		"results/golden/escape_budget.json; a new escape in a hot function is a finding " +
+		"with the compiler's -m=2 explanation inline",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	if pass.ModuleDir == "" {
+		return nil // standalone pass outside a module walk
+	}
+	budget, err := LoadEscapeBudget(pass.ModuleDir)
+	if err != nil {
+		return err
+	}
+	if budget == nil {
+		return nil
+	}
+	hot := false
+	for _, p := range budget.HotPaths {
+		if pass.RelPath == p {
+			hot = true
+			break
+		}
+	}
+	if !hot {
+		return nil
+	}
+	escapes, err := HotPathEscapes(pass.ModuleDir, budget.HotPaths)
+	if err != nil {
+		return err
+	}
+
+	allowed := budget.Budgets[pass.RelPath]
+	// Count current sites per (function, message) before reporting, so
+	// the Nth instance of a budgeted message is flagged, not the first.
+	type bucket struct{ fn, msg string }
+	counts := make(map[bucket]int)
+	type attributed struct {
+		site EscapeSite
+		fn   string
+	}
+	var sites []attributed
+	for _, s := range escapes[pass.RelPath] {
+		fn := enclosingFuncIn(pass.Fset, pass.Files, s)
+		sites = append(sites, attributed{s, fn})
+		counts[bucket{fn, s.Message}]++
+	}
+	for _, a := range sites {
+		b := bucket{a.fn, a.site.Message}
+		if counts[b] <= allowed[a.fn][a.site.Message] {
+			continue
+		}
+		detail := ""
+		if n := len(a.site.Detail); n > 0 {
+			if n > 3 {
+				detail = " [" + strings.Join(a.site.Detail[:3], "; ") + "; …]"
+			} else {
+				detail = " [" + strings.Join(a.site.Detail, "; ") + "]"
+			}
+		}
+		over := counts[b] - allowed[a.fn][a.site.Message]
+		// Report under the fileset's absolute filename so //lint:hotalloc
+		// waivers (keyed by parsed-file positions) apply.
+		pass.ReportPosf(token.Position{Filename: absSiteFile(pass, a.site), Line: a.site.Line, Column: a.site.Col},
+			"hot-path escape not in budget: %s in %s (%d over budget)%s — eliminate the allocation or re-baseline with repolint -write-escape-budget",
+			a.site.Message, a.fn, over, detail)
+		// Report each offending bucket once; further instances add noise.
+		counts[b] = allowed[a.fn][a.site.Message]
+	}
+	return nil
+}
+
+// absSiteFile maps a compiler-reported module-relative path back to the
+// matching parsed file's name, so diagnostics and waivers share one
+// coordinate system.
+func absSiteFile(pass *Pass, s EscapeSite) string {
+	for _, f := range pass.Files {
+		if tf := pass.Fset.File(f.Pos()); tf != nil && strings.HasSuffix(slashPath(tf.Name()), slashPath(s.File)) {
+			return tf.Name()
+		}
+	}
+	return s.File
+}
+
+// enclosingFuncIn names the top-level function declaration covering the
+// escape site's line in the given files, or "(package scope)" for
+// package-level initializers. Closure escapes attribute to the function
+// that lexically contains the closure — the budget is per declared
+// function, which is the unit a reviewer reasons about.
+func enclosingFuncIn(fset *token.FileSet, files []*ast.File, s EscapeSite) string {
+	for _, f := range files {
+		tf := fset.File(f.Pos())
+		if tf == nil || !strings.HasSuffix(slashPath(tf.Name()), slashPath(s.File)) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			start := fset.Position(fd.Pos()).Line
+			end := fset.Position(fd.End()).Line
+			if s.Line >= start && s.Line <= end {
+				return funcDisplayName(fd)
+			}
+		}
+	}
+	return "(package scope)"
+}
+
+// slashPath normalizes separators for suffix comparison between
+// compiler-reported (module-relative) and fileset (absolute) paths.
+func slashPath(p string) string {
+	return strings.ReplaceAll(p, "\\", "/")
+}
+
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	recv := fd.Recv.List[0].Type
+	var b strings.Builder
+	writeRecvType(&b, recv)
+	return fmt.Sprintf("(%s).%s", b.String(), fd.Name.Name)
+}
+
+func writeRecvType(b *strings.Builder, e ast.Expr) {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		b.WriteByte('*')
+		writeRecvType(b, t.X)
+	case *ast.Ident:
+		b.WriteString(t.Name)
+	case *ast.IndexExpr: // generic receiver
+		writeRecvType(b, t.X)
+	case *ast.IndexListExpr:
+		writeRecvType(b, t.X)
+	default:
+		b.WriteString("?")
+	}
+}

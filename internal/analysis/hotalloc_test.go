@@ -1,0 +1,65 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, fixtureModule(t), analysis.HotAlloc,
+		"fix/hot",      // new escape flagged, budgeted and waived ones silent
+		"fix/seedhelp", // not a hot path: no budget applies, stays silent
+	)
+}
+
+func TestParseEscapes(t *testing.T) {
+	const out = `# brk/hot
+hot/hot.go:8:6: can inline Grow with cost 18 as: func(int) []int64 { buf := make([]int64, n); for loop; return buf }
+hot/hot.go:9:13: make([]int64, n) escapes to heap:
+hot/hot.go:9:13:   flow: {heap} = &{storage for make([]int64, n)}:
+hot/hot.go:9:13:     from make([]int64, n) (non-constant size) at hot/hot.go:9:13
+hot/hot.go:9:13: make([]int64, n) escapes to heap
+hot/hot.go:14:7: b does not escape
+hot/hot.go:20:6: moved to heap: buf
+hot/hot.go:3:6: leaking param: p to result ~r0 level=0
+`
+	sites := analysis.ParseEscapes(out, "/mod")
+	if len(sites) != 2 {
+		t.Fatalf("ParseEscapes found %d sites, want 2: %+v", len(sites), sites)
+	}
+	esc := sites[0]
+	if esc.File != "hot/hot.go" || esc.Line != 9 || esc.Col != 13 {
+		t.Errorf("site position = %s:%d:%d, want hot/hot.go:9:13", esc.File, esc.Line, esc.Col)
+	}
+	if esc.Message != "make([]int64, n) escapes to heap" {
+		t.Errorf("message = %q (trailing colon must be stripped, duplicate deduped)", esc.Message)
+	}
+	if len(esc.Detail) != 2 || !strings.HasPrefix(esc.Detail[0], "flow:") || !strings.HasPrefix(esc.Detail[1], "from ") {
+		t.Errorf("detail = %q, want the two -m=2 flow lines", esc.Detail)
+	}
+	if moved := sites[1]; moved.Message != "moved to heap: buf" || moved.Line != 20 {
+		t.Errorf("moved-to-heap site = %+v", moved)
+	}
+}
+
+func TestBuildEscapeBudgetFixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("go build invocation skipped in -short")
+	}
+	budget, err := analysis.BuildEscapeBudget(fixtureModule(t), []string{"hot"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns := budget.Budgets["hot"]
+	if len(fns) == 0 {
+		t.Fatal("no escape sites attributed in fixture hot package")
+	}
+	for _, fn := range []string{"Budgeted", "Unbudgeted", "Waived"} {
+		if len(fns[fn]) == 0 {
+			t.Errorf("no escapes attributed to %s: %+v", fn, fns)
+		}
+	}
+}

@@ -35,9 +35,15 @@ type Loader struct {
 
 	pkgs map[string]*listedPackage // import path -> metadata
 
-	mu    sync.Mutex
-	types map[string]*types.Package // import cache for the gc importer
-	imp   types.ImporterFrom
+	mu     sync.Mutex
+	types  map[string]*types.Package // import cache for the gc importer
+	loaded map[string]*loadResult    // Load memo: analyzers resolve cross-package syntax on demand
+	imp    types.ImporterFrom
+}
+
+type loadResult struct {
+	pkg *Package
+	err error
 }
 
 // listedPackage is the subset of `go list -json` output the loader needs.
@@ -86,6 +92,7 @@ func NewLoader(dir string) (*Loader, error) {
 		Fset:   token.NewFileSet(),
 		pkgs:   make(map[string]*listedPackage),
 		types:  make(map[string]*types.Package),
+		loaded: make(map[string]*loadResult),
 	}
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
@@ -173,8 +180,25 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 
 // Load parses and type-checks one module package (non-test files only —
 // the invariants govern shipping code; tests may use rand, clocks and
-// prints freely).
+// prints freely). Results are memoised: the seedflow analyzer resolves
+// helper bodies across package boundaries through this path, and every
+// package is parsed and checked at most once per loader regardless of
+// how many analyzers or passes ask for it.
 func (l *Loader) Load(path string) (*Package, error) {
+	l.mu.Lock()
+	if r, ok := l.loaded[path]; ok {
+		l.mu.Unlock()
+		return r.pkg, r.err
+	}
+	l.mu.Unlock()
+	pkg, err := l.load(path)
+	l.mu.Lock()
+	l.loaded[path] = &loadResult{pkg: pkg, err: err}
+	l.mu.Unlock()
+	return pkg, err
+}
+
+func (l *Loader) load(path string) (*Package, error) {
 	p, ok := l.pkgs[path]
 	if !ok {
 		return nil, fmt.Errorf("package %q not in module listing", path)
@@ -210,11 +234,14 @@ func (l *Loader) Load(path string) (*Package, error) {
 }
 
 // RunAnalyzers applies every analyzer to the package and returns the
-// surviving (non-waived) diagnostics in file/line order.
-func RunAnalyzers(pkg *Package, fset *token.FileSet, analyzers []*Analyzer) ([]Diagnostic, error) {
+// surviving (non-waived) diagnostics in file/line order, plus waiver
+// hygiene findings: after the analyzers run, any registered waiver for
+// an analyzer that DID run but suppressed nothing is reported as dead.
+func RunAnalyzers(pkg *Package, fset *token.FileSet, analyzers []*Analyzer, opts RunOptions) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	report := func(d Diagnostic) { diags = append(diags, d) }
-	waivers := collectWaivers(fset, pkg.Files, report)
+	waivers := collectWaivers(fset, pkg.Files, opts, report)
+	ran := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,
@@ -223,13 +250,17 @@ func RunAnalyzers(pkg *Package, fset *token.FileSet, analyzers []*Analyzer) ([]D
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
 			RelPath:   pkg.RelPath,
+			Resolver:  opts.Resolver,
+			ModuleDir: opts.ModuleDir,
 			report:    report,
 			waivers:   waivers,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
 		}
+		ran[a.Name] = true
 	}
+	waivers.reportUnused(ran, report)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -243,20 +274,61 @@ func RunAnalyzers(pkg *Package, fset *token.FileSet, analyzers []*Analyzer) ([]D
 	return diags, nil
 }
 
-// LintModule loads every package of the module rooted at dir and runs
-// the given analyzers over each, returning all diagnostics.
-func LintModule(dir string, analyzers []*Analyzer) ([]Diagnostic, error) {
-	l, err := NewLoader(dir)
+// sharedLoaders caches one Loader per module root for the life of the
+// process, so the `go list -deps -export` walk and every package's parse
+// and type-check run once no matter how many LintModule calls, analyzer
+// fixture tests or flow-fact resolutions ask for the same module.
+var sharedLoaders = struct {
+	sync.Mutex
+	m map[string]*Loader
+}{m: make(map[string]*Loader)}
+
+// SharedLoader returns the process-wide cached Loader for the module
+// rooted at dir, creating it on first use.
+func SharedLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
 	if err != nil {
 		return nil, err
 	}
+	sharedLoaders.Lock()
+	defer sharedLoaders.Unlock()
+	if l, ok := sharedLoaders.m[abs]; ok {
+		return l, nil
+	}
+	l, err := NewLoader(abs)
+	if err != nil {
+		return nil, err
+	}
+	sharedLoaders.m[abs] = l
+	return l, nil
+}
+
+// LintModule loads every package of the module rooted at dir and runs
+// the given analyzers over each, returning all diagnostics. Options
+// default to zero values (no expiry clock, registered-suite waiver
+// vocabulary).
+func LintModule(dir string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return LintModuleWith(dir, analyzers, RunOptions{})
+}
+
+// LintModuleWith is LintModule with explicit RunOptions. The loader is
+// shared per module and wired into each pass as the Resolver, so flow
+// analyzers can chase helpers across package boundaries without a second
+// load.
+func LintModuleWith(dir string, analyzers []*Analyzer, opts RunOptions) ([]Diagnostic, error) {
+	l, err := SharedLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	opts.Resolver = l
+	opts.ModuleDir = l.Dir
 	var all []Diagnostic
 	for _, path := range l.ModulePackages() {
 		pkg, err := l.Load(path)
 		if err != nil {
 			return nil, err
 		}
-		diags, err := RunAnalyzers(pkg, l.Fset, analyzers)
+		diags, err := RunAnalyzers(pkg, l.Fset, analyzers, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file is repolint's machine-readable reporting surface: a stable
+// Finding model with content fingerprints, a JSON report, a SARIF 2.1.0
+// writer (the format CI code-scanning UIs ingest), and a baseline file
+// that suppresses known findings by fingerprint so a new analyzer can
+// land blocking against existing debt.
+
+// A Finding is one diagnostic in reporting form: module-relative path,
+// position, message and a content fingerprint that survives unrelated
+// edits elsewhere in the file.
+type Finding struct {
+	Analyzer    string `json:"analyzer"`
+	File        string `json:"file"`
+	Line        int    `json:"line"`
+	Col         int    `json:"col"`
+	Message     string `json:"message"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// fingerprintLineWindow buckets lines so a finding's fingerprint is
+// stable under small drifts (edits above it move it by a few lines, not
+// out of its bucket most of the time) while still distinguishing repeats
+// of the same message across a large file.
+const fingerprintLineWindow = 32
+
+// NewFinding converts a Diagnostic into reporting form. file must
+// already be module-relative (the CLI relativizes before reporting).
+func NewFinding(d Diagnostic, file string) Finding {
+	f := Finding{
+		Analyzer: d.Analyzer,
+		File:     filepath.ToSlash(file),
+		Line:     d.Pos.Line,
+		Col:      d.Pos.Column,
+		Message:  d.Message,
+	}
+	f.Fingerprint = fingerprint(f)
+	return f
+}
+
+// fingerprint hashes analyzer + file + line window + message content.
+// Line numbers are windowed rather than exact so the baseline does not
+// churn every time an import block grows; the message hash keeps two
+// different findings in one window distinct.
+func fingerprint(f Finding) string {
+	mh := fnv.New64a()
+	io.WriteString(mh, f.Message)
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%d|%x", f.Analyzer, f.File, f.Line/fingerprintLineWindow, mh.Sum64())
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// A Report is the top-level JSON document repolint -json emits.
+type Report struct {
+	Schema    int       `json:"schema"`
+	Module    string    `json:"module"`
+	Analyzers []string  `json:"analyzers"`
+	Findings  []Finding `json:"findings"`
+	// Suppressed counts findings hidden by the active baseline.
+	Suppressed int `json:"suppressed"`
+}
+
+// WriteJSON emits the report, indented for human diffing.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// A Baseline is a set of accepted finding fingerprints, committed so new
+// analyzers can land blocking while existing debt is paid down
+// incrementally. Entries record position and message for reviewability;
+// only the fingerprint participates in matching.
+type Baseline struct {
+	Schema   int       `json:"schema"`
+	Findings []Finding `json:"findings"`
+}
+
+// LoadBaseline reads a baseline file. Missing path (empty string) means
+// no suppression.
+func LoadBaseline(path string) (*Baseline, error) {
+	if path == "" {
+		return &Baseline{}, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &b, nil
+}
+
+// WriteBaseline commits the given findings as the new baseline.
+func WriteBaseline(path string, findings []Finding) error {
+	b := Baseline{Schema: 1, Findings: findings}
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Apply splits findings into surviving and suppressed sets and reports
+// stale baseline entries (fingerprints that matched nothing — debt that
+// has been paid and should leave the file). Matching consumes baseline
+// entries count-for-count, so two identical findings need two entries.
+func (b *Baseline) Apply(findings []Finding) (kept []Finding, suppressed int, stale []Finding) {
+	avail := make(map[string]int, len(b.Findings))
+	for _, f := range b.Findings {
+		avail[f.Fingerprint]++
+	}
+	for _, f := range findings {
+		if avail[f.Fingerprint] > 0 {
+			avail[f.Fingerprint]--
+			suppressed++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	for _, f := range b.Findings {
+		if avail[f.Fingerprint] > 0 {
+			avail[f.Fingerprint]--
+			stale = append(stale, f)
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool {
+		if stale[i].File != stale[j].File {
+			return stale[i].File < stale[j].File
+		}
+		return stale[i].Line < stale[j].Line
+	})
+	return kept, suppressed, stale
+}
+
+// WriteSARIF emits the report as SARIF 2.1.0, the interchange format CI
+// code-scanning surfaces consume. One run, one rule per registered
+// analyzer (plus the synthetic "waiver" hygiene rule), one result per
+// finding, fingerprint carried in partialFingerprints.
+func (r *Report) WriteSARIF(w io.Writer, analyzers []*Analyzer) error {
+	type sarifRule struct {
+		ID   string `json:"id"`
+		Desc struct {
+			Text string `json:"text"`
+		} `json:"shortDescription"`
+	}
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	addRule := func(id, doc string) {
+		var sr sarifRule
+		sr.ID = id
+		sr.Desc.Text = doc
+		rules = append(rules, sr)
+	}
+	for _, a := range analyzers {
+		addRule(a.Name, a.Doc)
+	}
+	addRule("waiver", "waiver hygiene: bare, unknown-analyzer, expired or unused //lint: waivers")
+
+	type sarifResult struct {
+		RuleID  string `json:"ruleId"`
+		Level   string `json:"level"`
+		Message struct {
+			Text string `json:"text"`
+		} `json:"message"`
+		Locations []map[string]any  `json:"locations"`
+		Partial   map[string]string `json:"partialFingerprints"`
+	}
+	results := make([]sarifResult, 0, len(r.Findings))
+	for _, f := range r.Findings {
+		var res sarifResult
+		res.RuleID = f.Analyzer
+		res.Level = "error"
+		res.Message.Text = f.Message
+		res.Locations = []map[string]any{{
+			"physicalLocation": map[string]any{
+				"artifactLocation": map[string]any{"uri": f.File},
+				"region":           map[string]any{"startLine": max(f.Line, 1), "startColumn": max(f.Col, 1)},
+			},
+		}}
+		res.Partial = map[string]string{"repolint/v1": f.Fingerprint}
+		results = append(results, res)
+	}
+
+	doc := map[string]any{
+		"$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		"version": "2.1.0",
+		"runs": []map[string]any{{
+			"tool": map[string]any{
+				"driver": map[string]any{
+					"name":           "repolint",
+					"informationUri": "https://example.invalid/repro/cmd/repolint",
+					"rules":          rules,
+				},
+			},
+			"results": results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Findings converts a diagnostic slice to reporting form, relativizing
+// filenames against the module root.
+func Findings(diags []Diagnostic, moduleDir string) []Finding {
+	out := make([]Finding, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if moduleDir != "" && filepath.IsAbs(file) {
+			if rel, err := filepath.Rel(moduleDir, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+		}
+		out = append(out, NewFinding(d, file))
+	}
+	return out
+}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestSeedFlow(t *testing.T) {
+	analysistest.Run(t, fixtureModule(t), analysis.SeedFlow,
+		"fix/seedflow",      // taint through fields, helpers, ranges; constants flagged
+		"fix/seedhelp",      // helper package itself: parameters are trusted, clean
+		"fix/examples/demo", // examples are exempt: constant seed, no finding
+	)
+}

@@ -1,0 +1,10 @@
+// Package demo lives under examples/, where pedagogical constant seeds
+// are deliberate: seedflow must stay silent here.
+package demo
+
+import "fix/internal/randx"
+
+// Demo seeds with a literal so readers can reproduce its output by eye.
+func Demo() int64 {
+	return randx.NewRand(1).Int63()
+}

@@ -1,0 +1,28 @@
+// Package hot exercises the escape-budget gate: one escape the
+// committed fixture budget allows, one it does not, and one carrying a
+// justified waiver.
+package hot
+
+// Budgeted allocates, but the committed budget allows exactly this
+// (function, message) pair: no finding.
+func Budgeted(n int) []float64 {
+	out := make([]float64, n)
+	return out
+}
+
+// Unbudgeted allocates outside the budget: a finding with the
+// compiler's flow explanation inline.
+func Unbudgeted(n int) []int64 {
+	buf := make([]int64, n) // want "hot-path escape not in budget"
+	for i := range buf {
+		buf[i] = int64(i)
+	}
+	return buf
+}
+
+// Waived allocates outside the budget under a justified waiver.
+func Waived(n int) []byte {
+	//lint:hotalloc scratch buffer measured at <1% of frame cost, retained for clarity
+	b := make([]byte, n)
+	return b
+}

@@ -1,0 +1,17 @@
+// Package seed stands in for the real internal/seed: the splitmix64
+// derivation root seedflow treats as the sanctioned entropy source.
+package seed
+
+// Derive mixes a parent seed with a stream index.
+func Derive(parent int64, idx int) int64 {
+	return parent*0x9E3779B9 + int64(idx)
+}
+
+// Children derives n child seeds from one parent.
+func Children(parent int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = Derive(parent, i)
+	}
+	return out
+}

@@ -1,0 +1,20 @@
+// Package seedhelp is the cross-package helper for the seedflow
+// fixtures: the analyzer must chase these bodies through the loader to
+// prove (or refute) derivation.
+package seedhelp
+
+import "fix/internal/seed"
+
+// Spawn derives child seeds properly; callers threading its results into
+// generators are clean.
+func Spawn(parent int64, n int) []int64 {
+	return seed.Children(parent, n)
+}
+
+// Stuck ignores its argument and returns a constant: callers seeding
+// from it must be flagged even though the constant hides one package
+// over.
+func Stuck(parent int64) int64 {
+	_ = parent
+	return 1996
+}

@@ -4,10 +4,31 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"strings"
 	"testing"
+	"time"
 )
 
-const waiverSrc = `package w
+func parseWaiverFile(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "w.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func waiverNamesAt(ws *waiverSet, file string, line int) []string {
+	var names []string
+	for _, rec := range ws.byLine[waiverKey{file, line}] {
+		names = append(names, rec.name)
+	}
+	return names
+}
+
+func TestCollectWaivers(t *testing.T) {
+	const src = `package w
 
 func f(a, b float64) bool {
 	//lint:floateq dyadic operands, comparison is exact
@@ -16,24 +37,118 @@ func f(a, b float64) bool {
 	return x == y
 }
 `
-
-func TestCollectWaivers(t *testing.T) {
-	fset := token.NewFileSet()
-	f, err := parser.ParseFile(fset, "w.go", waiverSrc, parser.ParseComments)
-	if err != nil {
-		t.Fatal(err)
-	}
+	fset, files := parseWaiverFile(t, src)
 	var diags []Diagnostic
-	waivers := collectWaivers(fset, []*ast.File{f}, func(d Diagnostic) { diags = append(diags, d) })
+	ws := collectWaivers(fset, files, RunOptions{}, func(d Diagnostic) { diags = append(diags, d) })
 
-	if got := waivers[waiverKey{"w.go", 4}]; len(got) != 1 || got[0] != "floateq" {
+	if got := waiverNamesAt(ws, "w.go", 4); len(got) != 1 || got[0] != "floateq" {
 		t.Errorf("line 4 waivers = %v, want [floateq]", got)
 	}
-	if got := waivers[waiverKey{"w.go", 6}]; len(got) != 0 {
+	if got := waiverNamesAt(ws, "w.go", 6); len(got) != 0 {
 		t.Errorf("line 6 waivers = %v, want none (bare waiver must not register)", got)
 	}
 	if len(diags) != 1 || diags[0].Analyzer != "waiver" {
 		t.Fatalf("diags = %v, want exactly one bare-waiver report", diags)
+	}
+}
+
+func TestCollectWaiversUnknownAnalyzer(t *testing.T) {
+	const src = `package w
+
+//lint:floateqq typo'd analyzer name
+var x = 1
+`
+	fset, files := parseWaiverFile(t, src)
+	var diags []Diagnostic
+	ws := collectWaivers(fset, files, RunOptions{}, func(d Diagnostic) { diags = append(diags, d) })
+	if got := waiverNamesAt(ws, "w.go", 3); len(got) != 0 {
+		t.Errorf("unknown-analyzer waiver registered: %v", got)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "unknown analyzer") {
+		t.Fatalf("diags = %v, want one unknown-analyzer report", diags)
+	}
+}
+
+func TestCollectWaiversExpiry(t *testing.T) {
+	const src = `package w
+
+//lint:floateq expires=2026-01-01 short-lived exception
+var a = 1
+
+//lint:floateq expires=2099-12-31 long-lived exception
+var b = 2
+
+//lint:floateq expires=someday malformed
+var c = 3
+`
+	fset, files := parseWaiverFile(t, src)
+	now := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	var diags []Diagnostic
+	ws := collectWaivers(fset, files, RunOptions{Now: now}, func(d Diagnostic) { diags = append(diags, d) })
+
+	if got := waiverNamesAt(ws, "w.go", 3); len(got) != 0 {
+		t.Errorf("expired waiver registered: %v", got)
+	}
+	if got := waiverNamesAt(ws, "w.go", 6); len(got) != 1 {
+		t.Errorf("unexpired waiver not registered: %v", got)
+	}
+	if got := waiverNamesAt(ws, "w.go", 9); len(got) != 0 {
+		t.Errorf("malformed-expiry waiver registered: %v", got)
+	}
+	var expired, malformed int
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Message, "expired"):
+			expired++
+		case strings.Contains(d.Message, "malformed expiry"):
+			malformed++
+		default:
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	if expired != 1 || malformed != 1 {
+		t.Fatalf("got %d expired + %d malformed reports, want 1 + 1 (diags: %v)", expired, malformed, diags)
+	}
+}
+
+func TestCollectWaiversExpiryDisabledWithoutClock(t *testing.T) {
+	const src = `package w
+
+//lint:floateq expires=2000-01-01 ancient but clockless
+var a = 1
+`
+	fset, files := parseWaiverFile(t, src)
+	var diags []Diagnostic
+	ws := collectWaivers(fset, files, RunOptions{}, func(d Diagnostic) { diags = append(diags, d) })
+	if got := waiverNamesAt(ws, "w.go", 3); len(got) != 1 {
+		t.Errorf("zero-Now run must still register dated waivers, got %v", got)
+	}
+	if len(diags) != 0 {
+		t.Errorf("zero-Now run reported %v, want none", diags)
+	}
+}
+
+func TestUnusedWaiverReported(t *testing.T) {
+	const src = `package w
+
+//lint:floateq suppresses nothing here
+var a = 1
+`
+	fset, files := parseWaiverFile(t, src)
+	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
+	ws := collectWaivers(fset, files, RunOptions{}, report)
+
+	// floateq did not run: the waiver must NOT be flagged (its analyzer
+	// never had the chance to use it).
+	ws.reportUnused(map[string]bool{"maporder": true}, report)
+	if len(diags) != 0 {
+		t.Fatalf("waiver for non-run analyzer flagged: %v", diags)
+	}
+	// floateq ran and suppressed nothing: dead waiver.
+	ws.reportUnused(map[string]bool{"floateq": true}, report)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "suppresses nothing") {
+		t.Fatalf("diags = %v, want one dead-waiver report", diags)
 	}
 }
 

@@ -151,7 +151,7 @@ func encodeSample(s telemetry.Snapshot, old map[string]telemetry.Snapshot) (Samp
 	switch s.Kind {
 	case telemetry.KindCounter, telemetry.KindFloatCounter:
 		d.Value = s.Value - p.Value
-		return d, !seen || d.Value != 0 //lint:floateq change detection must be exact: any nonzero delta, however small, is real movement
+		return d, !seen || d.Value != 0
 	case telemetry.KindGauge:
 		d.Value = s.Value
 		return d, !seen || s.Value != p.Value //lint:floateq change detection must be exact; identical bits round-trip losslessly through JSON

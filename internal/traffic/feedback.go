@@ -78,5 +78,6 @@ func IsClosedLoopModel(m Model) bool {
 	if m == nil {
 		return false
 	}
+	//lint:seedflow throwaway probe generator: only its dynamic type is inspected, it never emits a frame
 	return IsClosedLoop(m.NewGenerator(0))
 }
